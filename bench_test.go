@@ -1,0 +1,327 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus scaling sweeps for the extension experiments recorded in
+// EXPERIMENTS.md.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks assert the headline numbers (violation counts, risk levels)
+// inside the timed loop is avoided; correctness is asserted once before the
+// loop so a regression fails the benchmark rather than silently timing wrong
+// results.
+package privascope_test
+
+import (
+	"fmt"
+	"testing"
+
+	"privascope"
+	"privascope/internal/anonymize"
+	"privascope/internal/casestudy"
+	"privascope/internal/core"
+	"privascope/internal/pseudorisk"
+	"privascope/internal/risk"
+	"privascope/internal/synth"
+)
+
+// BenchmarkFig1DataflowModel measures building the doctors'-surgery data-flow
+// model of Fig. 1 and rendering its diagrams to DOT.
+func BenchmarkFig1DataflowModel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		model := casestudy.Surgery()
+		if model.DOT() == "" {
+			b.Fatal("empty DOT output")
+		}
+	}
+}
+
+// BenchmarkFig2StateVariables measures the privacy state-vector operations of
+// Fig. 2: a vocabulary of 5 actors and 6 fields (60 Boolean state variables)
+// with sets, gets and change extraction.
+func BenchmarkFig2StateVariables(b *testing.B) {
+	vocab := core.NewVocabulary(
+		[]string{"receptionist", "doctor", "nurse", "administrator", "researcher"},
+		[]string{"name", "date_of_birth", "appointment", "medical_issues", "diagnosis", "treatment"},
+	)
+	if vocab.NumVariables() != 60 {
+		b.Fatalf("state variables = %d, want 60", vocab.NumVariables())
+	}
+	actors := vocab.Actors()
+	fields := vocab.Fields()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec := vocab.NewVector()
+		prev := vec.Clone()
+		for _, actor := range actors {
+			for _, field := range fields {
+				vec.Set(actor, field, core.HasIdentified)
+				vec.Set(actor, field, core.CouldIdentify)
+			}
+		}
+		if vec.CountTrue() != 60 {
+			b.Fatal("unexpected count")
+		}
+		if len(vec.NewlyTrue(prev)) != 60 {
+			b.Fatal("unexpected change size")
+		}
+	}
+}
+
+// BenchmarkFig3MedicalServiceLTS measures generating the privacy LTS of the
+// full doctors'-surgery model (the Medical Service LTS of Fig. 3 plus the
+// research service and the policy-permitted potential reads).
+func BenchmarkFig3MedicalServiceLTS(b *testing.B) {
+	model := casestudy.Surgery()
+	p, err := privascope.Generate(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if p.Stats().States == 0 {
+		b.Fatal("empty LTS")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := privascope.Generate(model); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCaseStudyADisclosureRisk measures the full case-study IV-A
+// pipeline: generate the LTS, assess the patient profile, apply the
+// mitigation, and compare.
+func BenchmarkCaseStudyADisclosureRisk(b *testing.B) {
+	original := casestudy.Surgery()
+	mitigated := casestudy.SurgeryWithPolicy(casestudy.MitigatedSurgeryACL())
+	profile := casestudy.PatientProfile()
+
+	// Correctness gate: medium before, at most low after.
+	before, err := privascope.Assess(original, profile, privascope.AssessOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if before.Assessment.MaxRiskFor(casestudy.ActorAdministrator) != risk.LevelMedium {
+		b.Fatalf("before risk = %v, want medium", before.Assessment.MaxRiskFor(casestudy.ActorAdministrator))
+	}
+	after, err := privascope.Assess(mitigated, profile, privascope.AssessOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if after.Assessment.MaxRiskFor(casestudy.ActorAdministrator) > risk.LevelLow {
+		b.Fatalf("after risk = %v, want at most low", after.Assessment.MaxRiskFor(casestudy.ActorAdministrator))
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		beforeResult, err := privascope.Assess(original, profile, privascope.AssessOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		afterResult, err := privascope.Assess(mitigated, profile, privascope.AssessOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(privascope.CompareAssessments(beforeResult.Assessment, afterResult.Assessment)) == 0 {
+			b.Fatal("no risk changes reported")
+		}
+	}
+}
+
+// BenchmarkTable1ValueRisk measures reproducing Table I: the per-record value
+// risks and violation counts of the six 2-anonymised records under the
+// height / age / age+height visibility progression.
+func BenchmarkTable1ValueRisk(b *testing.B) {
+	evaluator, err := privascope.NewValueRiskEvaluator(casestudy.TableIRecords(), casestudy.ResearchPolicy())
+	if err != nil {
+		b.Fatal(err)
+	}
+	progression := [][]string{{"height"}, {"age"}, {"age", "height"}}
+	results, err := evaluator.EvaluateProgression(progression)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if results[0].Violations != 0 || results[1].Violations != 2 || results[2].Violations != 4 {
+		b.Fatalf("violations = %d/%d/%d, want 0/2/4",
+			results[0].Violations, results[1].Violations, results[2].Violations)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := evaluator.EvaluateProgression(progression); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4PseudonymisationLTS measures layering the Table I value risks
+// onto the metrics-study privacy LTS (the dotted risk transitions of Fig. 4).
+func BenchmarkFig4PseudonymisationLTS(b *testing.B) {
+	p, err := privascope.GenerateWithOptions(casestudy.Metrics(), privascope.GenerateOptions{
+		FlowOrdering:   privascope.OrderDataDriven,
+		PotentialReads: privascope.PotentialReadsOff,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := privascope.PseudonymisationOptions{
+		Actor:  casestudy.ActorResearcher,
+		Policy: casestudy.ResearchPolicy(),
+		Table:  casestudy.TableIRecords(),
+	}
+	annotation, err := privascope.AnalyzePseudonymisation(p, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if annotation.MaxViolations() != 4 {
+		b.Fatalf("max violations = %d, want 4", annotation.MaxViolations())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := privascope.AnalyzePseudonymisation(p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUtilityMetrics measures the utility comparison of Section III-B
+// (means, variances, generalisation loss) between a raw synthetic dataset and
+// its 5-anonymised form.
+func BenchmarkUtilityMetrics(b *testing.B) {
+	raw := synth.HealthRecords(synth.HealthRecordsOptions{Rows: 500, Seed: 9})
+	anonymised, _, err := anonymize.KAnonymize(raw, []string{"age", "height"}, 5, anonymize.KAnonymizeOptions{
+		InitialWidths: map[string]float64{"age": 5, "height": 5},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := anonymize.CompareUtility(raw, anonymised, []string{"weight", "height", "age"}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := anonymize.GeneralizationLoss(raw, anonymised, []string{"age", "height"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLTSGenerationScaling sweeps the size of synthetic models (the
+// state-space growth argument of Section II-B): more services and fields mean
+// more state variables and more interleavings.
+func BenchmarkLTSGenerationScaling(b *testing.B) {
+	for _, services := range []int{1, 2, 3, 4} {
+		spec := synth.ModelSpec{Services: services, FieldsPerService: 3}
+		model := synth.Model(spec)
+		stats := model.Stats()
+		b.Run(fmt.Sprintf("services=%d/vars=%d", services, stats.StateVariables), func(b *testing.B) {
+			p, err := privascope.Generate(model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(p.Stats().States), "states")
+			b.ReportMetric(float64(p.Stats().Transitions), "transitions")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := privascope.Generate(model); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRiskAnalysisScaling sweeps the number of simulated users assessed
+// against one generated model — the per-user analysis the paper proposes to
+// run "with running users of the system, or with simulated users".
+func BenchmarkRiskAnalysisScaling(b *testing.B) {
+	model := synth.Model(synth.ModelSpec{Services: 3, FieldsPerService: 3})
+	p, err := privascope.Generate(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, users := range []int{1, 10, 100} {
+		profiles := synth.Population(model, synth.PopulationOptions{
+			Users: users, Seed: 21, SensitiveFields: synth.SensitiveFieldsOf(model),
+		})
+		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
+			analyzer, err := risk.NewAnalyzer(risk.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, profile := range profiles {
+					if _, err := analyzer.Analyze(p, profile); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKAnonymizeScaling sweeps dataset size for the k-anonymiser and the
+// value-risk computation used by the pseudonymisation analysis.
+func BenchmarkKAnonymizeScaling(b *testing.B) {
+	for _, rows := range []int{100, 1000, 5000} {
+		raw := synth.HealthRecords(synth.HealthRecordsOptions{Rows: rows, Seed: 3})
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				anonymised, _, err := anonymize.KAnonymize(raw, []string{"age", "height"}, 5, anonymize.KAnonymizeOptions{
+					InitialWidths: map[string]float64{"age": 5, "height": 5},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				evaluator, err := pseudorisk.NewEvaluator(anonymised, casestudy.ResearchPolicy())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := evaluator.Evaluate([]string{"age", "height"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRuntimeMonitorObserve measures the per-event cost of the runtime
+// monitor: matching an event against the current state's transitions and
+// looking up the pre-computed risk.
+func BenchmarkRuntimeMonitorObserve(b *testing.B) {
+	p, err := privascope.Generate(casestudy.Surgery())
+	if err != nil {
+		b.Fatal(err)
+	}
+	monitor, err := privascope.NewMonitor(p, privascope.MonitorConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	profile := casestudy.PatientProfile()
+	if err := monitor.RegisterUser(profile); err != nil {
+		b.Fatal(err)
+	}
+	ev := privascope.Event{
+		Actor:  casestudy.ActorReceptionist,
+		Action: privascope.ActionCollect,
+		UserID: profile.ID,
+		Fields: []string{casestudy.FieldName, casestudy.FieldDateOfBirth},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := monitor.Observe(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Command dataflow2lts converts a data-flow model document into its
+// visualisations and formal model: the data-flow diagrams of the paper's
+// Fig. 1 (Graphviz DOT), and the generated privacy LTS of Figs. 3/4 (DOT or
+// JSON).
+//
+// Usage:
+//
+//	dataflow2lts -model model.json -mode dataflow            # Fig. 1 DOT
+//	dataflow2lts -model model.json -mode dataflow -service medical-service
+//	dataflow2lts -model model.json -mode lts                 # privacy LTS DOT
+//	dataflow2lts -model model.json -mode lts-json            # privacy LTS JSON
+//	dataflow2lts -model model.json -mode stats               # model and LTS sizes
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"privascope"
+	"privascope/internal/core"
+	"privascope/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dataflow2lts:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dataflow2lts", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "path to the model document (JSON)")
+	mode := fs.String("mode", "dataflow", "output: dataflow, lts, lts-json, or stats")
+	serviceID := fs.String("service", "", "restrict the data-flow diagram to one service")
+	ordering := fs.String("ordering", "sequential", "flow ordering: sequential or data-driven")
+	verbose := fs.Bool("verbose-states", false, "list state variables inside LTS nodes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("the -model flag is required")
+	}
+	model, err := privascope.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{}
+	if *ordering == "data-driven" {
+		opts.FlowOrdering = core.OrderDataDriven
+	}
+
+	switch *mode {
+	case "dataflow":
+		if *serviceID != "" {
+			dot, err := model.ServiceDOT(*serviceID)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, dot)
+			return nil
+		}
+		fmt.Fprint(out, model.DOT())
+		return nil
+	case "lts":
+		generated, err := privascope.GenerateWithOptions(model, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, generated.DOT(core.DOTOptions{Name: "privacy_lts", VerboseStates: *verbose}))
+		return nil
+	case "lts-json":
+		generated, err := privascope.GenerateWithOptions(model, opts)
+		if err != nil {
+			return err
+		}
+		data, err := json.Marshal(generated)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(append(data, '\n'))
+		return err
+	case "stats":
+		generated, err := privascope.GenerateWithOptions(model, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, report.ModelSummary(generated).Render())
+		return nil
+	default:
+		return fmt.Errorf("unknown mode %q (want dataflow, lts, lts-json, or stats)", *mode)
+	}
+}

@@ -1,0 +1,162 @@
+// Command privarisk runs the model-driven privacy risk pipeline over a
+// data-flow model document: it generates the formal privacy model (LTS),
+// analyses the risk of unwanted disclosure for a user profile, and prints a
+// report. Optionally it repeats the analysis with a mitigated model and
+// prints the before/after risk comparison of case study IV-A.
+//
+// Usage:
+//
+//	privarisk -model model.json -profile profile.json [flags]
+//
+// Flags:
+//
+//	-model string      path to the model document (JSON, with ACL)
+//	-profile string    path to the user profile (JSON); when omitted, a
+//	                   profile that consents to every service is used
+//	-mitigated string  path to a second model document to compare against
+//	-lts string        write the generated LTS to this DOT file
+//	-json string       write the generated LTS to this JSON file
+//	-markdown          render the report as Markdown instead of plain text
+//	-ordering string   flow ordering: sequential (default) or data-driven
+//
+// The examples/healthcare program produces the same analysis for the paper's
+// doctors'-surgery case study without needing input files.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"privascope"
+	"privascope/internal/core"
+	"privascope/internal/report"
+	"privascope/internal/risk"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "privarisk:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("privarisk", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "path to the model document (JSON)")
+	profilePath := fs.String("profile", "", "path to the user profile (JSON)")
+	mitigatedPath := fs.String("mitigated", "", "path to a mitigated model document to compare against")
+	ltsPath := fs.String("lts", "", "write the generated LTS to this DOT file")
+	jsonPath := fs.String("json", "", "write the generated LTS to this JSON file")
+	markdown := fs.Bool("markdown", false, "render the report as Markdown")
+	ordering := fs.String("ordering", "sequential", "flow ordering: sequential or data-driven")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("the -model flag is required")
+	}
+
+	model, err := privascope.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{}
+	switch *ordering {
+	case "sequential", "":
+		opts.FlowOrdering = core.OrderSequential
+	case "data-driven":
+		opts.FlowOrdering = core.OrderDataDriven
+	default:
+		return fmt.Errorf("unknown ordering %q (want sequential or data-driven)", *ordering)
+	}
+
+	profile, err := loadProfile(*profilePath, model)
+	if err != nil {
+		return err
+	}
+
+	generated, err := privascope.GenerateWithOptions(model, opts)
+	if err != nil {
+		return err
+	}
+	assessment, err := privascope.AnalyzeDisclosure(generated, profile, risk.Config{})
+	if err != nil {
+		return err
+	}
+
+	doc := report.NewReport("Privacy risk analysis: " + model.Name)
+	for _, s := range report.ModelSummary(generated).Sections() {
+		doc.AddTable(s.Title, s.Body, s.Table)
+	}
+	for _, s := range report.DisclosureAssessment(assessment).Sections() {
+		doc.AddTable(s.Title, s.Body, s.Table)
+	}
+
+	if *mitigatedPath != "" {
+		mitigated, err := privascope.LoadModel(*mitigatedPath)
+		if err != nil {
+			return fmt.Errorf("loading mitigated model: %w", err)
+		}
+		mitigatedLTS, err := privascope.GenerateWithOptions(mitigated, opts)
+		if err != nil {
+			return fmt.Errorf("generating mitigated model: %w", err)
+		}
+		mitigatedAssessment, err := privascope.AnalyzeDisclosure(mitigatedLTS, profile, risk.Config{})
+		if err != nil {
+			return err
+		}
+		changes := privascope.CompareAssessments(assessment, mitigatedAssessment)
+		doc.AddTable("Risk change after mitigation",
+			fmt.Sprintf("Overall risk: %s -> %s", assessment.OverallRisk, mitigatedAssessment.OverallRisk),
+			report.RiskComparison(changes))
+	}
+
+	if *ltsPath != "" {
+		if err := os.WriteFile(*ltsPath, []byte(generated.DOT(core.DOTOptions{Name: "privacy_lts"})), 0o644); err != nil {
+			return fmt.Errorf("writing LTS DOT: %w", err)
+		}
+	}
+	if *jsonPath != "" {
+		data, err := json.Marshal(generated)
+		if err != nil {
+			return fmt.Errorf("encoding LTS: %w", err)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return fmt.Errorf("writing LTS JSON: %w", err)
+		}
+	}
+
+	if *markdown {
+		fmt.Fprint(out, doc.RenderMarkdown())
+	} else {
+		fmt.Fprint(out, doc.Render())
+	}
+	return nil
+}
+
+// loadProfile reads the user profile, or builds a consent-to-everything
+// profile when no path is given.
+func loadProfile(path string, model *privascope.Model) (privascope.UserProfile, error) {
+	if path == "" {
+		return privascope.UserProfile{
+			ID:                 "default-user",
+			ConsentedServices:  model.ServiceIDs(),
+			DefaultSensitivity: 0.5,
+		}, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return privascope.UserProfile{}, fmt.Errorf("reading profile: %w", err)
+	}
+	var profile privascope.UserProfile
+	if err := json.Unmarshal(data, &profile); err != nil {
+		return privascope.UserProfile{}, fmt.Errorf("parsing profile: %w", err)
+	}
+	if err := profile.Validate(); err != nil {
+		return privascope.UserProfile{}, err
+	}
+	return profile, nil
+}

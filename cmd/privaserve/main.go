@@ -1,0 +1,152 @@
+// Command privaserve runs a data-flow model as a set of live HTTP datastore
+// services with a runtime privacy monitor attached: every datastore of the
+// model gets its own server, every operation is logged, and the monitor
+// replays the event stream onto the generated privacy LTS, printing an alert
+// whenever risky or unmodelled behaviour is observed.
+//
+// Usage:
+//
+//	privaserve -model model.json [-profile profile.json] [-duration 30s]
+//
+// The server addresses are printed on startup; drive them with any HTTP
+// client (the X-Privascope-Actor header selects the acting actor). The
+// process exits after -duration (0 means run until interrupted).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"time"
+
+	"privascope"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "privaserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("privaserve", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "path to the model document (JSON)")
+	profilePath := fs.String("profile", "", "path to the monitored user's profile (JSON)")
+	duration := fs.Duration("duration", 0, "how long to serve before exiting (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("the -model flag is required")
+	}
+	model, err := privascope.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+
+	generated, err := privascope.Generate(model)
+	if err != nil {
+		return err
+	}
+	monitor, err := privascope.NewMonitor(generated, privascope.MonitorConfig{})
+	if err != nil {
+		return err
+	}
+	profile, err := loadProfile(*profilePath, model)
+	if err != nil {
+		return err
+	}
+	if err := monitor.RegisterUser(profile); err != nil {
+		return err
+	}
+
+	cluster, err := privascope.StartCluster(model)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = cluster.Stop(ctx)
+	}()
+
+	stores := cluster.Datastores()
+	sort.Strings(stores)
+	fmt.Fprintf(out, "privaserve: serving %d datastores for model %q\n", len(stores), model.Name)
+	for _, id := range stores {
+		url, err := cluster.URL(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-20s %s\n", id, url)
+	}
+	fmt.Fprintf(out, "monitoring user %q (consented services: %v)\n", profile.ID, profile.ConsentedServices)
+
+	events, cancel := cluster.Log().Subscribe(256)
+	defer cancel()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	var deadline <-chan time.Time
+	if *duration > 0 {
+		timer := time.NewTimer(*duration)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return nil
+			}
+			if ev.UserID != profile.ID {
+				continue
+			}
+			obs, err := monitor.Observe(ev)
+			if err != nil {
+				fmt.Fprintf(out, "event %d ignored: %v\n", ev.Seq, err)
+				continue
+			}
+			fmt.Fprintf(out, "event %d: %s(%v) by %s on %s -> state %s\n",
+				ev.Seq, ev.Action, ev.Fields, ev.Actor, ev.Datastore, obs.To)
+			for _, alert := range obs.Alerts {
+				fmt.Fprintf(out, "ALERT [%s]: %s\n", alert.Kind, alert.Message)
+			}
+		case <-stop:
+			fmt.Fprintln(out, "privaserve: interrupted")
+			return nil
+		case <-deadline:
+			fmt.Fprintf(out, "privaserve: duration elapsed; %d alerts recorded\n", len(monitor.Alerts()))
+			return nil
+		}
+	}
+}
+
+func loadProfile(path string, model *privascope.Model) (privascope.UserProfile, error) {
+	if path == "" {
+		return privascope.UserProfile{
+			ID:                 "monitored-user",
+			ConsentedServices:  model.ServiceIDs(),
+			DefaultSensitivity: 0.5,
+		}, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return privascope.UserProfile{}, fmt.Errorf("reading profile: %w", err)
+	}
+	var profile privascope.UserProfile
+	if err := json.Unmarshal(data, &profile); err != nil {
+		return privascope.UserProfile{}, fmt.Errorf("parsing profile: %w", err)
+	}
+	if err := profile.Validate(); err != nil {
+		return privascope.UserProfile{}, err
+	}
+	return profile, nil
+}

@@ -1,0 +1,159 @@
+// Runtime monitoring: run the doctors'-surgery model as live HTTP datastore
+// services and monitor a patient's privacy against the generated model.
+//
+// The medical service is executed over HTTP (receptionist books the
+// appointment, doctor records the consultation, nurse reads the treatment);
+// none of this raises alerts because the patient consented to the Medical
+// Service. Then the administrator browses the EHR — a policy-permitted read
+// that no declared flow performs — and the monitor raises the Medium-risk
+// alert of case study IV-A, this time observed at runtime rather than
+// predicted at design time.
+//
+// Run with:
+//
+//	go run ./examples/runtime-monitor
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"privascope"
+	"privascope/internal/casestudy"
+)
+
+func main() {
+	model := casestudy.Surgery()
+	profile := casestudy.PatientProfile()
+
+	generated, err := privascope.Generate(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	monitor, err := privascope.NewMonitor(generated, privascope.MonitorConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := monitor.RegisterUser(profile); err != nil {
+		log.Fatal(err)
+	}
+
+	cluster, err := privascope.StartCluster(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = cluster.Stop(ctx)
+	}()
+
+	for _, id := range []string{casestudy.StoreAppointments, casestudy.StoreEHR, casestudy.StoreAnonEHR} {
+		url, err := cluster.URL(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("datastore %-14s -> %s\n", id, url)
+	}
+
+	events, cancelSub := cluster.Log().Subscribe(256)
+	defer cancelSub()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range events {
+			if ev.UserID != profile.ID {
+				continue
+			}
+			obs, err := monitor.Observe(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("observed %-8s by %-13s on %-12s -> privacy state %s\n",
+				ev.Action, ev.Actor, ev.Datastore, obs.To)
+			for _, alert := range obs.Alerts {
+				fmt.Printf("  ALERT [%s] %s\n", alert.Kind, alert.Message)
+			}
+		}
+	}()
+
+	ctx := context.Background()
+	userID := profile.ID
+
+	// The parts of the medical service that are person-to-person (collect
+	// actions) are reported to the monitor directly; the datastore
+	// operations run over HTTP and reach the monitor through the event log.
+	mustObserve(monitor, privascope.Event{Actor: casestudy.ActorReceptionist, Action: privascope.ActionCollect,
+		UserID: userID, Fields: []string{casestudy.FieldName, casestudy.FieldDateOfBirth}})
+
+	receptionist := mustClient(cluster, casestudy.StoreAppointments, casestudy.ActorReceptionist)
+	mustDo(receptionist.Put(ctx, userID, "schedule appointment", map[string]string{
+		casestudy.FieldName:        "Pat Example",
+		casestudy.FieldDateOfBirth: "1990-01-01",
+		casestudy.FieldAppointment: "2026-06-22 10:30",
+	}))
+
+	doctorAppointments := mustClient(cluster, casestudy.StoreAppointments, casestudy.ActorDoctor)
+	_, err = doctorAppointments.Get(ctx, userID, "prepare consultation", nil)
+	mustDo(err)
+
+	mustObserve(monitor, privascope.Event{Actor: casestudy.ActorDoctor, Action: privascope.ActionCollect,
+		UserID: userID, Fields: []string{casestudy.FieldMedicalIssues}})
+
+	doctorEHR := mustClient(cluster, casestudy.StoreEHR, casestudy.ActorDoctor)
+	mustDo(doctorEHR.Put(ctx, userID, "record consultation", map[string]string{
+		casestudy.FieldName:          "Pat Example",
+		casestudy.FieldDateOfBirth:   "1990-01-01",
+		casestudy.FieldMedicalIssues: "persistent cough",
+		casestudy.FieldDiagnosis:     "bronchitis",
+		casestudy.FieldTreatment:     "rest and fluids",
+	}))
+
+	nurse := mustClient(cluster, casestudy.StoreEHR, casestudy.ActorNurse)
+	_, err = nurse.Get(ctx, userID, "administer treatment",
+		[]string{casestudy.FieldName, casestudy.FieldTreatment})
+	mustDo(err)
+
+	// Now the administrator browses the EHR outside any service flow.
+	admin := mustClient(cluster, casestudy.StoreEHR, casestudy.ActorAdministrator)
+	_, err = admin.Get(ctx, userID, "maintenance", []string{casestudy.FieldDiagnosis})
+	mustDo(err)
+
+	// Give the monitor goroutine a moment to drain the event stream, then
+	// close the subscription.
+	time.Sleep(200 * time.Millisecond)
+	cancelSub()
+	<-done
+
+	fmt.Println()
+	alerts := monitor.AlertsFor(userID)
+	fmt.Printf("monitoring summary: %d alert(s) for user %q\n", len(alerts), userID)
+	for _, alert := range alerts {
+		fmt.Printf("  [%s] risk=%s actor=%s fields=%v\n", alert.Kind, alert.Risk, alert.Event.Actor, alert.Event.Fields)
+	}
+	if vec, ok := monitor.CurrentVector(userID); ok {
+		fmt.Printf("final privacy state has %d true state variables\n", vec.CountTrue())
+	}
+}
+
+func mustClient(cluster *privascope.Cluster, datastore, actor string) *privascope.DatastoreClient {
+	client, err := cluster.Client(datastore, actor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return client
+}
+
+func mustObserve(monitor *privascope.Monitor, ev privascope.Event) {
+	if _, err := monitor.Observe(ev); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustDo(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

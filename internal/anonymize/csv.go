@@ -1,0 +1,84 @@
+package anonymize
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ColumnSpec assigns roles to columns when reading a CSV file. Keys are
+// column names (as they appear in the header); unnamed columns default to
+// RoleStandard.
+type ColumnSpec map[string]ColumnRole
+
+// ReadCSV reads a table from CSV text. The first record is the header; each
+// cell is parsed with ParseValue, so numbers become numeric values, "lo-hi"
+// becomes an interval, "*" a suppressed cell, and everything else a
+// category.
+func ReadCSV(r io.Reader, spec ColumnSpec) (*Table, error) {
+	reader := csv.NewReader(r)
+	reader.TrimLeadingSpace = true
+	records, err := reader.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("anonymize: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("anonymize: CSV input is empty")
+	}
+	header := records[0]
+	columns := make([]Column, len(header))
+	for i, name := range header {
+		name = strings.TrimSpace(name)
+		role := RoleStandard
+		if spec != nil {
+			if r, ok := spec[name]; ok {
+				role = r
+			}
+		}
+		columns[i] = Column{Name: name, Role: role}
+	}
+	t, err := NewTable(columns...)
+	if err != nil {
+		return nil, err
+	}
+	for i, record := range records[1:] {
+		if len(record) != len(header) {
+			return nil, fmt.Errorf("anonymize: CSV row %d has %d cells, header has %d", i+1, len(record), len(header))
+		}
+		values := make([]Value, len(record))
+		for j, cell := range record {
+			values[j] = ParseValue(cell)
+		}
+		if err := t.AddRow(values...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table as CSV, rendering cells with Value.String.
+func WriteCSV(w io.Writer, t *Table) error {
+	writer := csv.NewWriter(w)
+	if err := writer.Write(t.ColumnNames()); err != nil {
+		return fmt.Errorf("anonymize: writing CSV header: %w", err)
+	}
+	for r := 0; r < t.NumRows(); r++ {
+		row, err := t.Row(r)
+		if err != nil {
+			return err
+		}
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		if err := writer.Write(cells); err != nil {
+			return fmt.Errorf("anonymize: writing CSV row %d: %w", r, err)
+		}
+	}
+	writer.Flush()
+	if err := writer.Error(); err != nil {
+		return fmt.Errorf("anonymize: flushing CSV: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package anonymize
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ColumnRole describes how a column participates in re-identification, using
+// the same terminology as package schema.
+type ColumnRole int
+
+// Column roles.
+const (
+	RoleStandard ColumnRole = iota + 1
+	RoleIdentifier
+	RoleQuasiIdentifier
+	RoleSensitive
+)
+
+// String returns the lower-case role name.
+func (r ColumnRole) String() string {
+	switch r {
+	case RoleStandard:
+		return "standard"
+	case RoleIdentifier:
+		return "identifier"
+	case RoleQuasiIdentifier:
+		return "quasi-identifier"
+	case RoleSensitive:
+		return "sensitive"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Column describes one column of a record table.
+type Column struct {
+	// Name is the unique column name, e.g. "weight".
+	Name string
+	// Role classifies the column.
+	Role ColumnRole
+	// Unit is a display-only unit, e.g. "kg".
+	Unit string
+}
+
+// Table is an in-memory record table: the datasets the pseudonymisation risk
+// analysis operates on. Tables are not safe for concurrent mutation.
+type Table struct {
+	columns []Column
+	index   map[string]int
+	rows    [][]Value
+}
+
+// NewTable creates an empty table with the given columns.
+func NewTable(columns ...Column) (*Table, error) {
+	if len(columns) == 0 {
+		return nil, errors.New("anonymize: table needs at least one column")
+	}
+	t := &Table{columns: append([]Column(nil), columns...), index: make(map[string]int, len(columns))}
+	for i, c := range columns {
+		if strings.TrimSpace(c.Name) == "" {
+			return nil, fmt.Errorf("anonymize: column %d has an empty name", i)
+		}
+		if _, dup := t.index[c.Name]; dup {
+			return nil, fmt.Errorf("anonymize: duplicate column %q", c.Name)
+		}
+		t.index[c.Name] = i
+	}
+	return t, nil
+}
+
+// MustTable is like NewTable but panics on error; for fixtures.
+func MustTable(columns ...Column) *Table {
+	t, err := NewTable(columns...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// AddRow appends a row; the number of values must match the columns.
+func (t *Table) AddRow(values ...Value) error {
+	if len(values) != len(t.columns) {
+		return fmt.Errorf("anonymize: row has %d values, table has %d columns", len(values), len(t.columns))
+	}
+	t.rows = append(t.rows, append([]Value(nil), values...))
+	return nil
+}
+
+// MustAddRow is like AddRow but panics on error; for fixtures.
+func (t *Table) MustAddRow(values ...Value) {
+	if err := t.AddRow(values...); err != nil {
+		panic(err)
+	}
+}
+
+// Columns returns a copy of the column definitions.
+func (t *Table) Columns() []Column { return append([]Column(nil), t.columns...) }
+
+// ColumnNames returns the column names in order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.columns))
+	for i, c := range t.columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// ColumnIndex returns the position of the named column.
+func (t *Table) ColumnIndex(name string) (int, bool) {
+	i, ok := t.index[name]
+	return i, ok
+}
+
+// Column returns the definition of the named column.
+func (t *Table) Column(name string) (Column, bool) {
+	if i, ok := t.index[name]; ok {
+		return t.columns[i], true
+	}
+	return Column{}, false
+}
+
+// ColumnsByRole returns the names of columns with the given role, in order.
+func (t *Table) ColumnsByRole(role ColumnRole) []string {
+	var out []string
+	for _, c := range t.columns {
+		if c.Role == role {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// NumColumns returns the number of columns.
+func (t *Table) NumColumns() int { return len(t.columns) }
+
+// Value returns the cell at (row, column name).
+func (t *Table) Value(row int, column string) (Value, error) {
+	if row < 0 || row >= len(t.rows) {
+		return Value{}, fmt.Errorf("anonymize: row %d out of range [0,%d)", row, len(t.rows))
+	}
+	i, ok := t.index[column]
+	if !ok {
+		return Value{}, fmt.Errorf("anonymize: unknown column %q", column)
+	}
+	return t.rows[row][i], nil
+}
+
+// Row returns a copy of the row's values.
+func (t *Table) Row(row int) ([]Value, error) {
+	if row < 0 || row >= len(t.rows) {
+		return nil, fmt.Errorf("anonymize: row %d out of range [0,%d)", row, len(t.rows))
+	}
+	return append([]Value(nil), t.rows[row]...), nil
+}
+
+// SetValue overwrites the cell at (row, column name).
+func (t *Table) SetValue(row int, column string, v Value) error {
+	if row < 0 || row >= len(t.rows) {
+		return fmt.Errorf("anonymize: row %d out of range [0,%d)", row, len(t.rows))
+	}
+	i, ok := t.index[column]
+	if !ok {
+		return fmt.Errorf("anonymize: unknown column %q", column)
+	}
+	t.rows[row][i] = v
+	return nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := &Table{
+		columns: append([]Column(nil), t.columns...),
+		index:   make(map[string]int, len(t.index)),
+		rows:    make([][]Value, len(t.rows)),
+	}
+	for k, v := range t.index {
+		out.index[k] = v
+	}
+	for i, row := range t.rows {
+		out.rows[i] = append([]Value(nil), row...)
+	}
+	return out
+}
+
+// Project returns a new table containing only the named columns (in the
+// given order), with all rows copied.
+func (t *Table) Project(columns ...string) (*Table, error) {
+	cols := make([]Column, 0, len(columns))
+	idxs := make([]int, 0, len(columns))
+	for _, name := range columns {
+		i, ok := t.index[name]
+		if !ok {
+			return nil, fmt.Errorf("anonymize: unknown column %q", name)
+		}
+		cols = append(cols, t.columns[i])
+		idxs = append(idxs, i)
+	}
+	out, err := NewTable(cols...)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range t.rows {
+		values := make([]Value, len(idxs))
+		for j, i := range idxs {
+			values[j] = row[i]
+		}
+		out.rows = append(out.rows, values)
+	}
+	return out, nil
+}
+
+// String renders the table as an aligned text grid, for reports and examples.
+func (t *Table) String() string {
+	widths := make([]int, len(t.columns))
+	header := make([]string, len(t.columns))
+	for i, c := range t.columns {
+		header[i] = c.Name
+		if c.Unit != "" {
+			header[i] += " (" + c.Unit + ")"
+		}
+		widths[i] = len(header[i])
+	}
+	cells := make([][]string, len(t.rows))
+	for r, row := range t.rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			cells[r][i] = v.String()
+			if len(cells[r][i]) > widths[i] {
+				widths[i] = len(cells[r][i])
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(values []string) {
+		for i, v := range values {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(v)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(v)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// EquivalenceClasses partitions the row indices into groups whose values in
+// the given columns are indistinguishable (identical group keys). The groups
+// and their members are returned in deterministic order. Rows where every
+// grouping column is suppressed form their own shared group.
+func (t *Table) EquivalenceClasses(columns []string) ([][]int, error) {
+	idxs := make([]int, 0, len(columns))
+	for _, name := range columns {
+		i, ok := t.index[name]
+		if !ok {
+			return nil, fmt.Errorf("anonymize: unknown column %q", name)
+		}
+		idxs = append(idxs, i)
+	}
+	groups := make(map[string][]int)
+	var keys []string
+	for r, row := range t.rows {
+		parts := make([]string, len(idxs))
+		for j, i := range idxs {
+			parts[j] = row[i].GroupKey()
+		}
+		key := strings.Join(parts, "|")
+		if _, ok := groups[key]; !ok {
+			keys = append(keys, key)
+		}
+		groups[key] = append(groups[key], r)
+	}
+	sort.Strings(keys)
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, groups[k])
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package anonymize
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ValueRisk is the per-record outcome of the paper's value-risk computation
+// (Section III-B): the marginal probability that an adversary who can see
+// the visible fields of the record's equivalence set pins the target field's
+// true value to within the configured closeness.
+type ValueRisk struct {
+	// Row is the record's index in the analysed table.
+	Row int
+	// SetSize is the size of the record's equivalence set s.
+	SetSize int
+	// Frequency is frequency(f): the number of records in s whose target
+	// value is close enough to this record's value.
+	Frequency int
+	// Probability is Frequency / SetSize.
+	Probability float64
+}
+
+// Fraction returns the risk as the exact fraction the paper's Table I prints
+// (e.g. 2/4).
+func (v ValueRisk) Fraction() Fraction { return Fraction{Num: v.Frequency, Den: v.SetSize} }
+
+// String renders the risk as its fraction.
+func (v ValueRisk) String() string { return v.Fraction().String() }
+
+// ValueRiskOptions configures the computation.
+type ValueRiskOptions struct {
+	// VisibleColumns are the fields the adversary has already read
+	// (the paper's fieldsread); all other columns are masked when the data
+	// is divided into equivalence sets.
+	VisibleColumns []string
+	// TargetColumn is the sensitive field f whose value is being inferred.
+	TargetColumn string
+	// Closeness is the range within which two target values count as the
+	// same observation (5 kg in the paper's weight example). Zero means
+	// exact equality.
+	Closeness float64
+}
+
+// ValueRisks computes the value risk of every record in the table following
+// the three steps of Section III-B:
+//
+//  1. the visible (already-read) fields form the input field set;
+//  2. the remaining fields are masked and the records are divided into sets
+//     of apparently identical records (equivalence classes on the visible
+//     fields);
+//  3. for each record r, risk(r, f) = frequency(f) / size(s), where
+//     frequency counts the records in r's set whose value of f lies within
+//     the closeness range of r's value.
+//
+// When no columns are visible, every record falls into one set covering the
+// whole table.
+func ValueRisks(t *Table, opts ValueRiskOptions) ([]ValueRisk, error) {
+	if t == nil {
+		return nil, errors.New("anonymize: table must not be nil")
+	}
+	if _, ok := t.ColumnIndex(opts.TargetColumn); !ok {
+		return nil, fmt.Errorf("anonymize: unknown target column %q", opts.TargetColumn)
+	}
+	if opts.Closeness < 0 {
+		return nil, errors.New("anonymize: closeness must not be negative")
+	}
+	for _, c := range opts.VisibleColumns {
+		if _, ok := t.ColumnIndex(c); !ok {
+			return nil, fmt.Errorf("anonymize: unknown visible column %q", c)
+		}
+	}
+
+	var classes [][]int
+	if len(opts.VisibleColumns) == 0 {
+		all := make([]int, t.NumRows())
+		for i := range all {
+			all[i] = i
+		}
+		classes = [][]int{all}
+	} else {
+		var err error
+		classes, err = t.EquivalenceClasses(opts.VisibleColumns)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	risks := make([]ValueRisk, t.NumRows())
+	for _, class := range classes {
+		values := make([]Value, len(class))
+		for i, r := range class {
+			v, err := t.Value(r, opts.TargetColumn)
+			if err != nil {
+				return nil, err
+			}
+			values[i] = v
+		}
+		for i, r := range class {
+			freq := 0
+			for j := range class {
+				if values[i].Close(values[j], opts.Closeness) {
+					freq++
+				}
+			}
+			risk := ValueRisk{Row: r, SetSize: len(class), Frequency: freq}
+			if len(class) > 0 {
+				risk.Probability = float64(freq) / float64(len(class))
+			}
+			risks[r] = risk
+		}
+	}
+	return risks, nil
+}
+
+// CountViolations returns how many records' value risk meets or exceeds the
+// confidence threshold (e.g. 0.9 for the paper's "at least 90% confidence"
+// policy). It is the "Violations" row of Table I.
+func CountViolations(risks []ValueRisk, confidenceThreshold float64) int {
+	count := 0
+	for _, r := range risks {
+		if r.Probability >= confidenceThreshold {
+			count++
+		}
+	}
+	return count
+}
+
+// MaxRisk returns the highest probability among the risks, or zero when the
+// slice is empty.
+func MaxRisk(risks []ValueRisk) float64 {
+	max := 0.0
+	for _, r := range risks {
+		if r.Probability > max {
+			max = r.Probability
+		}
+	}
+	return max
+}

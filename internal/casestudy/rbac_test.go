@@ -1,0 +1,84 @@
+package casestudy
+
+import (
+	"testing"
+
+	"privascope/internal/accesscontrol"
+	"privascope/internal/core"
+	"privascope/internal/risk"
+)
+
+func TestSurgeryRBACEquivalentToACL(t *testing.T) {
+	acl := SurgeryACL()
+	rbac := SurgeryRBAC()
+
+	// Decision-level equivalence over every (actor, store, field, perm)
+	// combination of the model.
+	model := Surgery()
+	perms := []accesscontrol.Permission{
+		accesscontrol.PermissionRead, accesscontrol.PermissionWrite, accesscontrol.PermissionDelete,
+	}
+	for _, store := range model.Datastores {
+		for _, field := range store.Schema.FieldNames() {
+			for _, actor := range model.ActorIDs() {
+				for _, perm := range perms {
+					a := acl.Allows(actor, store.ID, field, perm)
+					r := rbac.Allows(actor, store.ID, field, perm)
+					if a != r {
+						t.Errorf("ACL and RBAC disagree: %s %s %s.%s: acl=%v rbac=%v",
+							actor, perm, store.ID, field, a, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSurgeryRBACProducesSameLTSAndRisk(t *testing.T) {
+	aclLTS, err := core.Generate(Surgery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbacLTS, err := core.Generate(SurgeryWithPolicy(SurgeryRBAC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rbacLTS.Warnings) != 0 {
+		t.Errorf("RBAC model warnings: %v", rbacLTS.Warnings)
+	}
+	if aclLTS.Stats() != rbacLTS.Stats() {
+		t.Errorf("LTS stats differ: acl=%+v rbac=%+v", aclLTS.Stats(), rbacLTS.Stats())
+	}
+
+	analyzer := risk.MustAnalyzer(risk.Config{})
+	profile := PatientProfile()
+	aclAssessment, err := analyzer.Analyze(aclLTS, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbacAssessment, err := analyzer.Analyze(rbacLTS, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aclAssessment.OverallRisk != rbacAssessment.OverallRisk {
+		t.Errorf("overall risk differs: acl=%v rbac=%v", aclAssessment.OverallRisk, rbacAssessment.OverallRisk)
+	}
+	if aclAssessment.MaxRiskFor(ActorAdministrator) != rbacAssessment.MaxRiskFor(ActorAdministrator) {
+		t.Errorf("administrator risk differs: acl=%v rbac=%v",
+			aclAssessment.MaxRiskFor(ActorAdministrator), rbacAssessment.MaxRiskFor(ActorAdministrator))
+	}
+	if len(aclAssessment.Findings) != len(rbacAssessment.Findings) {
+		t.Errorf("finding counts differ: acl=%d rbac=%d",
+			len(aclAssessment.Findings), len(rbacAssessment.Findings))
+	}
+}
+
+func TestSurgeryRBACRoleAssignments(t *testing.T) {
+	rbac := SurgeryRBAC()
+	if got := rbac.RolesOf(ActorDoctor); len(got) != 1 || got[0] != RoleClinician {
+		t.Errorf("RolesOf(doctor) = %v", got)
+	}
+	if got := len(rbac.Actors()); got != 5 {
+		t.Errorf("actors with roles = %d, want 5", got)
+	}
+}

@@ -1,0 +1,571 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"privascope/internal/accesscontrol"
+	"privascope/internal/dataflow"
+	"privascope/internal/lts"
+	"privascope/internal/schema"
+)
+
+// FlowOrdering controls how flows within one service are sequenced during
+// state-space exploration.
+type FlowOrdering int
+
+// Flow orderings. OrderSequential executes each service's flows in their
+// declared numeric order (the paper labels every flow arrow with "a numeric
+// value indicating the order in which the data flow is executed");
+// OrderDataDriven lets any not-yet-executed flow of a service fire as soon as
+// its source node holds the required data ("the flows can be executed
+// independently, provided the start node has the correct data to flow").
+// Services always interleave with each other in both modes.
+const (
+	OrderSequential FlowOrdering = iota + 1
+	OrderDataDriven
+)
+
+// PotentialReadMode controls whether the generator adds "potential read"
+// transitions: reads permitted by the access-control policy that no declared
+// flow performs. They represent the disclosure events risk analysis assesses
+// (Section III-A: "the read action ... impacts the likelihood of a disclosure
+// of a user's personal data").
+type PotentialReadMode int
+
+// Potential-read modes. PotentialReadsOff adds none; PotentialReadsTerminal
+// (the default) adds the transitions but does not continue exploration from
+// their target states, keeping the model compact; PotentialReadsFull explores
+// the targets like any other state.
+const (
+	PotentialReadsOff PotentialReadMode = iota + 1
+	PotentialReadsTerminal
+	PotentialReadsFull
+)
+
+// DefaultMaxStates bounds exploration so a mis-specified model cannot consume
+// unbounded memory; Generate returns ErrStateSpaceTooLarge when it is hit.
+const DefaultMaxStates = 250000
+
+// ErrStateSpaceTooLarge is returned when exploration exceeds Options.MaxStates.
+var ErrStateSpaceTooLarge = errors.New("core: state space exceeds the configured maximum; simplify the model or raise Options.MaxStates")
+
+// Options configures privacy-LTS generation. The zero value selects the
+// defaults (sequential flows, terminal potential reads, DefaultMaxStates).
+type Options struct {
+	FlowOrdering   FlowOrdering
+	PotentialReads PotentialReadMode
+	// MaxStates caps the number of generated states; zero means
+	// DefaultMaxStates.
+	MaxStates int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlowOrdering == 0 {
+		o.FlowOrdering = OrderSequential
+	}
+	if o.PotentialReads == 0 {
+		o.PotentialReads = PotentialReadsTerminal
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = DefaultMaxStates
+	}
+	return o
+}
+
+// explState is the exploration key of the generator: the "has" variables set
+// so far, the contents of every datastore, and each service's progress.
+type explState struct {
+	has      StateVector
+	stores   map[string]schema.FieldSet
+	progress map[string]int  // service -> index of next flow (sequential)
+	fired    map[string]bool // flow key -> executed (data-driven)
+}
+
+func (e explState) key(ordering FlowOrdering) string {
+	var b strings.Builder
+	b.WriteString(e.has.Key())
+	b.WriteString("|")
+	storeIDs := make([]string, 0, len(e.stores))
+	for id := range e.stores {
+		storeIDs = append(storeIDs, id)
+	}
+	sort.Strings(storeIDs)
+	for _, id := range storeIDs {
+		fs := e.stores[id]
+		if fs.IsEmpty() {
+			continue
+		}
+		b.WriteString(id)
+		b.WriteString("=")
+		b.WriteString(strings.Join(fs.Names(), ","))
+		b.WriteString(";")
+	}
+	b.WriteString("|")
+	if ordering == OrderSequential {
+		svcIDs := make([]string, 0, len(e.progress))
+		for id := range e.progress {
+			svcIDs = append(svcIDs, id)
+		}
+		sort.Strings(svcIDs)
+		for _, id := range svcIDs {
+			fmt.Fprintf(&b, "%s:%d;", id, e.progress[id])
+		}
+	} else {
+		keys := make([]string, 0, len(e.fired))
+		for k, v := range e.fired {
+			if v {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		b.WriteString(strings.Join(keys, ";"))
+	}
+	return b.String()
+}
+
+func (e explState) clone() explState {
+	out := explState{
+		has:      e.has.Clone(),
+		stores:   make(map[string]schema.FieldSet, len(e.stores)),
+		progress: make(map[string]int, len(e.progress)),
+		fired:    make(map[string]bool, len(e.fired)),
+	}
+	for k, v := range e.stores {
+		out.stores[k] = v
+	}
+	for k, v := range e.progress {
+		out.progress[k] = v
+	}
+	for k, v := range e.fired {
+		out.fired[k] = v
+	}
+	return out
+}
+
+// Generator builds privacy LTSs from data-flow models. A single Generator
+// may be reused across models.
+type Generator struct {
+	opts Options
+}
+
+// NewGenerator returns a generator with the given options.
+func NewGenerator(opts Options) *Generator {
+	return &Generator{opts: opts.withDefaults()}
+}
+
+// Generate builds the privacy LTS for the model using default options.
+func Generate(m *dataflow.Model) (*PrivacyLTS, error) {
+	return NewGenerator(Options{}).Generate(m)
+}
+
+// GenerateWithOptions builds the privacy LTS using the supplied options.
+func GenerateWithOptions(m *dataflow.Model, opts Options) (*PrivacyLTS, error) {
+	return NewGenerator(opts).Generate(m)
+}
+
+// Generate builds the privacy LTS for the model.
+func (g *Generator) Generate(m *dataflow.Model) (*PrivacyLTS, error) {
+	if m == nil {
+		return nil, errors.New("core: model must not be nil")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid model: %w", err)
+	}
+	vocab := VocabularyFromModel(m)
+	p := &PrivacyLTS{
+		Model:   m,
+		Vocab:   vocab,
+		Graph:   lts.New(),
+		vectors: make(map[lts.StateID]StateVector),
+		stores:  make(map[lts.StateID]map[string]schema.FieldSet),
+	}
+	policy := m.Policy
+	if policy == nil {
+		policy = &accesscontrol.ACL{}
+		p.Warnings = append(p.Warnings,
+			"model has no access-control policy attached; no 'could identify' variables or potential reads will be derived")
+	}
+	g.checkPolicyConsistency(m, policy, p)
+
+	initial := explState{
+		has:      vocab.NewVector(),
+		stores:   make(map[string]schema.FieldSet),
+		progress: make(map[string]int),
+		fired:    make(map[string]bool),
+	}
+
+	seen := make(map[string]lts.StateID)
+	frozen := make(map[lts.StateID]bool) // potential-read targets not explored further
+	var queue []explState
+	var queueIDs []lts.StateID
+
+	register := func(e explState) (lts.StateID, bool) {
+		k := e.key(g.opts.FlowOrdering)
+		if id, ok := seen[k]; ok {
+			return id, false
+		}
+		id := lts.StateID(fmt.Sprintf("s%d", len(seen)))
+		seen[k] = id
+		vec := g.publicVector(m, policy, e)
+		p.Graph.AddState(id, nil)
+		p.vectors[id] = vec
+		storeCopy := make(map[string]schema.FieldSet, len(e.stores))
+		for sid, fs := range e.stores {
+			storeCopy[sid] = fs
+		}
+		p.stores[id] = storeCopy
+		return id, true
+	}
+
+	initID, _ := register(initial)
+	p.Graph.SetInitial(initID)
+	queue = append(queue, initial)
+	queueIDs = append(queueIDs, initID)
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		curID := queueIDs[0]
+		queue = queue[1:]
+		queueIDs = queueIDs[1:]
+
+		if len(seen) > g.opts.MaxStates {
+			return nil, fmt.Errorf("%w (limit %d)", ErrStateSpaceTooLarge, g.opts.MaxStates)
+		}
+
+		// Declared flows.
+		for _, step := range g.enabledFlows(m, cur, p) {
+			next := g.applyFlow(m, cur, step)
+			nextID, isNew := register(next)
+			p.Graph.AddTransition(curID, nextID, g.flowLabel(m, step))
+			if isNew && !frozen[nextID] {
+				queue = append(queue, next)
+				queueIDs = append(queueIDs, nextID)
+			}
+		}
+
+		// Potential reads permitted by the policy.
+		if g.opts.PotentialReads != PotentialReadsOff {
+			for _, pr := range g.potentialReads(m, policy, cur) {
+				next := g.applyPotentialRead(cur, pr)
+				nextID, isNew := register(next)
+				label := NewTransitionLabel(ActionRead, pr.actor, pr.fields)
+				label.Datastore = pr.store
+				label.Potential = true
+				p.Graph.AddTransition(curID, nextID, label)
+				if isNew {
+					if g.opts.PotentialReads == PotentialReadsFull {
+						queue = append(queue, next)
+						queueIDs = append(queueIDs, nextID)
+					} else {
+						frozen[nextID] = true
+					}
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// flowStep pairs a flow with its derived action.
+type flowStep struct {
+	flow   dataflow.Flow
+	action Action
+}
+
+// enabledFlows returns the flows that may fire in the exploration state,
+// respecting the configured ordering and the data-availability gating rule.
+func (g *Generator) enabledFlows(m *dataflow.Model, cur explState, p *PrivacyLTS) []flowStep {
+	var out []flowStep
+	consider := func(f dataflow.Flow) {
+		action, ok := g.deriveAction(m, f)
+		if !ok {
+			return
+		}
+		if g.gatingSatisfied(m, cur, f, action) {
+			out = append(out, flowStep{flow: f, action: action})
+		}
+	}
+	switch g.opts.FlowOrdering {
+	case OrderDataDriven:
+		for _, svcID := range m.ServiceIDs() {
+			for _, f := range m.ServiceFlows(svcID) {
+				if cur.fired[f.Key()] {
+					continue
+				}
+				consider(f)
+			}
+		}
+	default: // OrderSequential
+		for _, svcID := range m.ServiceIDs() {
+			flows := m.ServiceFlows(svcID)
+			idx := cur.progress[svcID]
+			if idx >= len(flows) {
+				continue
+			}
+			consider(flows[idx])
+		}
+	}
+	return out
+}
+
+// deriveAction applies the paper's extraction rules to a flow.
+func (g *Generator) deriveAction(m *dataflow.Model, f dataflow.Flow) (Action, bool) {
+	fromKind, ok := m.NodeKindOf(f.From)
+	if !ok {
+		return 0, false
+	}
+	toKind, ok := m.NodeKindOf(f.To)
+	if !ok {
+		return 0, false
+	}
+	switch {
+	case fromKind == dataflow.NodeUser && toKind == dataflow.NodeActor:
+		return ActionCollect, true
+	case fromKind == dataflow.NodeActor && toKind == dataflow.NodeActor:
+		return ActionDisclose, true
+	case fromKind == dataflow.NodeActor && toKind == dataflow.NodeDatastore:
+		if f.Delete {
+			return ActionDelete, true
+		}
+		if d, ok := m.Datastore(f.To); ok && d.Anonymised {
+			return ActionAnon, true
+		}
+		return ActionCreate, true
+	case fromKind == dataflow.NodeDatastore && toKind == dataflow.NodeActor:
+		return ActionRead, true
+	default:
+		return 0, false
+	}
+}
+
+// gatingSatisfied implements the "start node has the correct data to flow"
+// rule: actors must already hold (or author) the fields they send, and
+// datastores must contain the fields read from them.
+func (g *Generator) gatingSatisfied(m *dataflow.Model, cur explState, f dataflow.Flow, action Action) bool {
+	switch action {
+	case ActionCollect:
+		return true // the data subject always holds their own data
+	case ActionDisclose, ActionCreate, ActionAnon:
+		authored := f.AuthoredSet()
+		for _, field := range f.Fields {
+			if authored.Contains(field) {
+				continue
+			}
+			if !cur.has.Has(f.From, field) {
+				return false
+			}
+		}
+		return true
+	case ActionDelete:
+		contents := cur.stores[f.To]
+		for _, field := range f.Fields {
+			if !contents.Contains(field) {
+				return false
+			}
+		}
+		return true
+	case ActionRead:
+		contents := cur.stores[f.From]
+		for _, field := range f.Fields {
+			if !contents.Contains(field) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// applyFlow computes the successor exploration state after a flow fires.
+func (g *Generator) applyFlow(m *dataflow.Model, cur explState, step flowStep) explState {
+	next := cur.clone()
+	f := step.flow
+	switch step.action {
+	case ActionCollect, ActionDisclose:
+		for _, field := range f.Fields {
+			next.has.Set(f.To, field, HasIdentified)
+		}
+		if step.action == ActionDisclose {
+			for _, field := range f.Authored {
+				next.has.Set(f.From, field, HasIdentified)
+			}
+		}
+	case ActionCreate:
+		for _, field := range f.Authored {
+			next.has.Set(f.From, field, HasIdentified)
+		}
+		next.stores[f.To] = next.stores[f.To].Union(f.FieldSet())
+	case ActionAnon:
+		for _, field := range f.Authored {
+			next.has.Set(f.From, field, HasIdentified)
+		}
+		anonNames := make([]string, 0, len(f.Fields))
+		for _, field := range f.Fields {
+			anonNames = append(anonNames, schema.AnonName(field))
+		}
+		next.stores[f.To] = next.stores[f.To].Union(schema.NewFieldSet(anonNames...))
+	case ActionDelete:
+		next.stores[f.To] = next.stores[f.To].Minus(f.FieldSet())
+	case ActionRead:
+		for _, field := range f.Fields {
+			next.has.Set(f.To, field, HasIdentified)
+		}
+	}
+	if g.opts.FlowOrdering == OrderDataDriven {
+		next.fired[f.Key()] = true
+	} else {
+		next.progress[f.Service] = cur.progress[f.Service] + 1
+	}
+	return next
+}
+
+// flowLabel builds the transition label for a declared flow.
+func (g *Generator) flowLabel(m *dataflow.Model, step flowStep) *TransitionLabel {
+	f := step.flow
+	label := NewTransitionLabel(step.action, "", f.Fields)
+	label.Purpose = f.Purpose
+	label.Service = f.Service
+	label.FlowKey = f.Key()
+	switch step.action {
+	case ActionCollect:
+		label.Actor = f.To
+		label.Counterpart = f.From
+	case ActionDisclose:
+		label.Actor = f.From
+		label.Counterpart = f.To
+	case ActionCreate, ActionAnon, ActionDelete:
+		label.Actor = f.From
+		label.Datastore = f.To
+	case ActionRead:
+		label.Actor = f.To
+		label.Datastore = f.From
+	}
+	if step.action == ActionAnon {
+		anonNames := make([]string, 0, len(f.Fields))
+		for _, field := range f.Fields {
+			anonNames = append(anonNames, schema.AnonName(field))
+		}
+		sort.Strings(anonNames)
+		label.Fields = anonNames
+	}
+	return label
+}
+
+// potentialRead describes a read the policy allows but no flow performs.
+type potentialRead struct {
+	actor  string
+	store  string
+	fields []string
+}
+
+// potentialReads enumerates, for the current state, every (actor, datastore)
+// pair where the actor may read fields currently held by the store that the
+// actor has not yet identified. One potential read per pair is produced,
+// covering all such fields.
+func (g *Generator) potentialReads(m *dataflow.Model, policy accesscontrol.Policy, cur explState) []potentialRead {
+	var out []potentialRead
+	for _, storeID := range m.DatastoreIDs() {
+		contents := cur.stores[storeID]
+		if contents.IsEmpty() {
+			continue
+		}
+		byActor := make(map[string][]string)
+		for _, field := range contents.Names() {
+			for _, actor := range policy.ActorsWith(storeID, field, accesscontrol.PermissionRead) {
+				if cur.has.Has(actor, field) {
+					continue
+				}
+				byActor[actor] = append(byActor[actor], field)
+			}
+		}
+		actors := make([]string, 0, len(byActor))
+		for a := range byActor {
+			actors = append(actors, a)
+		}
+		sort.Strings(actors)
+		for _, a := range actors {
+			fields := byActor[a]
+			sort.Strings(fields)
+			out = append(out, potentialRead{actor: a, store: storeID, fields: fields})
+		}
+	}
+	return out
+}
+
+// applyPotentialRead computes the state after a potential read: the actor now
+// has identified the fields. Service progress is unchanged.
+func (g *Generator) applyPotentialRead(cur explState, pr potentialRead) explState {
+	next := cur.clone()
+	for _, field := range pr.fields {
+		next.has.Set(pr.actor, field, HasIdentified)
+	}
+	return next
+}
+
+// publicVector builds the externally-visible privacy state vector: the "has"
+// variables accumulated so far plus the derived "could" variables. An actor
+// could identify a field when they have already identified it or when some
+// datastore currently holds the field and the policy grants them read access
+// to it.
+func (g *Generator) publicVector(m *dataflow.Model, policy accesscontrol.Policy, e explState) StateVector {
+	vec := e.has.Clone()
+	for _, actor := range vec.vocab.Actors() {
+		for _, field := range vec.vocab.Fields() {
+			if vec.Has(actor, field) {
+				vec.Set(actor, field, CouldIdentify)
+			}
+		}
+	}
+	for storeID, contents := range e.stores {
+		for _, field := range contents.Names() {
+			for _, actor := range policy.ActorsWith(storeID, field, accesscontrol.PermissionRead) {
+				vec.Set(actor, field, CouldIdentify)
+			}
+		}
+	}
+	return vec
+}
+
+// checkPolicyConsistency records a warning for every declared flow whose
+// acting actor lacks the permission the flow requires (write for create/anon,
+// delete for delete flows, read for read flows). Such flows represent a
+// mismatch between the designed behaviour and the access-control policy.
+func (g *Generator) checkPolicyConsistency(m *dataflow.Model, policy accesscontrol.Policy, p *PrivacyLTS) {
+	for _, f := range m.Flows {
+		action, ok := g.deriveAction(m, f)
+		if !ok {
+			continue
+		}
+		var actor, store string
+		var perm accesscontrol.Permission
+		fields := f.Fields
+		switch action {
+		case ActionCreate:
+			actor, store, perm = f.From, f.To, accesscontrol.PermissionWrite
+		case ActionAnon:
+			actor, store, perm = f.From, f.To, accesscontrol.PermissionWrite
+			anon := make([]string, 0, len(f.Fields))
+			for _, field := range f.Fields {
+				anon = append(anon, schema.AnonName(field))
+			}
+			fields = anon
+		case ActionDelete:
+			actor, store, perm = f.From, f.To, accesscontrol.PermissionDelete
+		case ActionRead:
+			actor, store, perm = f.To, f.From, accesscontrol.PermissionRead
+		default:
+			continue
+		}
+		for _, field := range fields {
+			if !policy.Allows(actor, store, field, perm) {
+				p.Warnings = append(p.Warnings, fmt.Sprintf(
+					"flow %s: actor %q lacks %s permission on %s.%s required by the declared flow",
+					f.Key(), actor, perm, store, field))
+			}
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"privascope/internal/dataflow"
+	"privascope/internal/lts"
+	"privascope/internal/schema"
+)
+
+// PrivacyLTS is the generated formal model of user privacy: an LTS whose
+// states carry privacy state vectors and whose transitions carry
+// TransitionLabels. It also remembers, per state, the contents of every
+// datastore, which the pseudonymisation risk analysis needs.
+type PrivacyLTS struct {
+	// Model is the data-flow model the LTS was generated from.
+	Model *dataflow.Model
+	// Vocab fixes the actor/field ordering of the state vectors.
+	Vocab *Vocabulary
+	// Graph is the underlying labelled transition system.
+	Graph *lts.LTS
+	// Warnings lists design inconsistencies found during generation, such as
+	// flows whose actor lacks the permission the flow requires.
+	Warnings []string
+
+	vectors map[lts.StateID]StateVector
+	stores  map[lts.StateID]map[string]schema.FieldSet
+}
+
+// Vector returns the privacy state vector of the given state.
+func (p *PrivacyLTS) Vector(id lts.StateID) (StateVector, bool) {
+	v, ok := p.vectors[id]
+	return v, ok
+}
+
+// StoreContents returns the fields held by the named datastore in the given
+// state.
+func (p *PrivacyLTS) StoreContents(id lts.StateID, datastore string) schema.FieldSet {
+	return p.stores[id][datastore]
+}
+
+// InitialState returns the initial state ID (the absolute privacy state).
+func (p *PrivacyLTS) InitialState() lts.StateID {
+	id, _ := p.Graph.Initial()
+	return id
+}
+
+// States returns every state ID in generation order (s0, s1, ...).
+func (p *PrivacyLTS) States() []lts.StateID { return p.Graph.StateIDs() }
+
+// Has reports whether the actor has identified the field in the given state.
+func (p *PrivacyLTS) Has(id lts.StateID, actor, field string) bool {
+	v, ok := p.vectors[id]
+	return ok && v.Has(actor, field)
+}
+
+// Could reports whether the actor could identify the field in the given
+// state.
+func (p *PrivacyLTS) Could(id lts.StateID, actor, field string) bool {
+	v, ok := p.vectors[id]
+	return ok && v.Could(actor, field)
+}
+
+// ActorsWhoCould returns the sorted actors that could identify the field in
+// the given state.
+func (p *PrivacyLTS) ActorsWhoCould(id lts.StateID, field string) []string {
+	v, ok := p.vectors[id]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, actor := range p.Vocab.Actors() {
+		if v.Could(actor, field) {
+			out = append(out, actor)
+		}
+	}
+	return out
+}
+
+// ActorsWhoHave returns the sorted actors that have identified the field in
+// the given state.
+func (p *PrivacyLTS) ActorsWhoHave(id lts.StateID, field string) []string {
+	v, ok := p.vectors[id]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, actor := range p.Vocab.Actors() {
+		if v.Has(actor, field) {
+			out = append(out, actor)
+		}
+	}
+	return out
+}
+
+// FindStates returns the states whose vector satisfies the predicate, in
+// generation order.
+func (p *PrivacyLTS) FindStates(pred func(StateVector) bool) []lts.StateID {
+	var out []lts.StateID
+	for _, id := range p.Graph.StateIDs() {
+		if pred(p.vectors[id]) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ChangeOf returns the state variables that become true when the transition
+// fires (the change relative to the source state, used by the impact
+// computation of Section III-A).
+func (p *PrivacyLTS) ChangeOf(t lts.Transition) []Variable {
+	from, okFrom := p.vectors[t.From]
+	to, okTo := p.vectors[t.To]
+	if !okFrom || !okTo {
+		return nil
+	}
+	return to.NewlyTrue(from)
+}
+
+// PotentialTransitions returns the transitions the generator added beyond the
+// declared flows (policy-permitted reads), in insertion order.
+func (p *PrivacyLTS) PotentialTransitions() []lts.Transition {
+	var out []lts.Transition
+	for _, t := range p.Graph.Transitions() {
+		if label := LabelOf(t); label != nil && label.Potential {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// DeclaredTransitions returns the transitions that correspond to declared
+// data-flow arrows.
+func (p *PrivacyLTS) DeclaredTransitions() []lts.Transition {
+	var out []lts.Transition
+	for _, t := range p.Graph.Transitions() {
+		if label := LabelOf(t); label != nil && !label.Potential {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Stats summarises the generated model.
+type Stats struct {
+	States               int
+	Transitions          int
+	PotentialTransitions int
+	StateVariables       int
+	Actors               int
+	Fields               int
+	Warnings             int
+}
+
+// Stats computes summary statistics for reports and benchmarks.
+func (p *PrivacyLTS) Stats() Stats {
+	return Stats{
+		States:               p.Graph.StateCount(),
+		Transitions:          p.Graph.TransitionCount(),
+		PotentialTransitions: len(p.PotentialTransitions()),
+		StateVariables:       p.Vocab.NumVariables(),
+		Actors:               len(p.Vocab.Actors()),
+		Fields:               len(p.Vocab.Fields()),
+		Warnings:             len(p.Warnings),
+	}
+}
+
+// DOTOptions controls rendering of the privacy LTS.
+type DOTOptions struct {
+	// Name is the graph name; defaults to "privacy_lts".
+	Name string
+	// VerboseStates lists the true state variables inside each node instead
+	// of only the counts. Only sensible for small models.
+	VerboseStates bool
+	// HighlightStates colours the listed states (e.g. states where a
+	// non-allowed actor could identify a sensitive field).
+	HighlightStates map[lts.StateID]string
+	// TransitionStyle may override edge attributes per transition; potential
+	// reads default to dashed grey edges, matching the dotted risk
+	// transitions of the paper's Fig. 4.
+	TransitionStyle func(lts.Transition) map[string]string
+}
+
+// DOT renders the privacy LTS to Graphviz DOT.
+func (p *PrivacyLTS) DOT(opts DOTOptions) string {
+	name := opts.Name
+	if name == "" {
+		name = "privacy_lts"
+	}
+	return p.Graph.DOT(lts.DOTOptions{
+		Name: name,
+		StateLabel: func(id lts.StateID) string {
+			vec := p.vectors[id]
+			if opts.VerboseStates {
+				return fmt.Sprintf("%s\n%s", id, wrapVariables(vec.TrueVariables(), 3))
+			}
+			return fmt.Sprintf("%s\n(%d/%d)", id, vec.CountTrue(), p.Vocab.NumVariables())
+		},
+		StateAttrs: func(id lts.StateID) map[string]string {
+			attrs := map[string]string{"shape": "ellipse"}
+			if colour, ok := opts.HighlightStates[id]; ok {
+				attrs["style"] = "filled"
+				attrs["fillcolor"] = colour
+			}
+			return attrs
+		},
+		TransitionAttrs: func(t lts.Transition) map[string]string {
+			attrs := map[string]string{}
+			if label := LabelOf(t); label != nil && label.Potential {
+				attrs["style"] = "dashed"
+				attrs["color"] = "gray40"
+				attrs["fontcolor"] = "gray40"
+			}
+			if opts.TransitionStyle != nil {
+				for k, v := range opts.TransitionStyle(t) {
+					attrs[k] = v
+				}
+			}
+			return attrs
+		},
+	})
+}
+
+func wrapVariables(vars []Variable, perLine int) string {
+	if len(vars) == 0 {
+		return "{}"
+	}
+	var lines []string
+	for i := 0; i < len(vars); i += perLine {
+		end := i + perLine
+		if end > len(vars) {
+			end = len(vars)
+		}
+		parts := make([]string, 0, end-i)
+		for _, v := range vars[i:end] {
+			parts = append(parts, v.String())
+		}
+		lines = append(lines, strings.Join(parts, ", "))
+	}
+	return strings.Join(lines, "\n")
+}
+
+// jsonState is the serialised form of one privacy state.
+type jsonState struct {
+	ID        string              `json:"id"`
+	Variables []string            `json:"variables,omitempty"`
+	Stores    map[string][]string `json:"stores,omitempty"`
+}
+
+// jsonTransition is the serialised form of one transition.
+type jsonTransition struct {
+	From      string   `json:"from"`
+	To        string   `json:"to"`
+	Action    string   `json:"action"`
+	Actor     string   `json:"actor,omitempty"`
+	Fields    []string `json:"fields"`
+	Datastore string   `json:"datastore,omitempty"`
+	Purpose   string   `json:"purpose,omitempty"`
+	Service   string   `json:"service,omitempty"`
+	Potential bool     `json:"potential,omitempty"`
+}
+
+// jsonDoc is the serialised form of a PrivacyLTS.
+type jsonDoc struct {
+	ModelName   string           `json:"model"`
+	Initial     string           `json:"initial"`
+	Actors      []string         `json:"actors"`
+	Fields      []string         `json:"fields"`
+	States      []jsonState      `json:"states"`
+	Transitions []jsonTransition `json:"transitions"`
+	Warnings    []string         `json:"warnings,omitempty"`
+}
+
+// MarshalJSON serialises the privacy LTS, including state variables and
+// per-state datastore contents, so external tools can consume the model.
+func (p *PrivacyLTS) MarshalJSON() ([]byte, error) {
+	doc := jsonDoc{
+		ModelName: p.Model.Name,
+		Initial:   string(p.InitialState()),
+		Actors:    p.Vocab.Actors(),
+		Fields:    p.Vocab.Fields(),
+		Warnings:  p.Warnings,
+	}
+	for _, id := range p.Graph.StateIDs() {
+		vec := p.vectors[id]
+		js := jsonState{ID: string(id)}
+		for _, v := range vec.TrueVariables() {
+			js.Variables = append(js.Variables, v.String())
+		}
+		storeMap := p.stores[id]
+		if len(storeMap) > 0 {
+			js.Stores = make(map[string][]string)
+			storeIDs := make([]string, 0, len(storeMap))
+			for sid := range storeMap {
+				storeIDs = append(storeIDs, sid)
+			}
+			sort.Strings(storeIDs)
+			for _, sid := range storeIDs {
+				if fs := storeMap[sid]; !fs.IsEmpty() {
+					js.Stores[sid] = fs.Names()
+				}
+			}
+		}
+		doc.States = append(doc.States, js)
+	}
+	for _, t := range p.Graph.Transitions() {
+		label := LabelOf(t)
+		if label == nil {
+			continue
+		}
+		doc.Transitions = append(doc.Transitions, jsonTransition{
+			From:      string(t.From),
+			To:        string(t.To),
+			Action:    label.Action.String(),
+			Actor:     label.Actor,
+			Fields:    label.FieldSet(),
+			Datastore: label.Datastore,
+			Purpose:   label.Purpose,
+			Service:   label.Service,
+			Potential: label.Potential,
+		})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -1,0 +1,105 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"privascope/internal/accesscontrol"
+	"privascope/internal/schema"
+)
+
+// Builder assembles a Model incrementally with a fluent API. Errors are
+// accumulated and reported by Build, so call sites stay readable:
+//
+//	b := dataflow.NewBuilder("surgery", dataflow.Actor{ID: "patient", Name: "Patient"})
+//	b.AddActor(dataflow.Actor{ID: "doctor", Name: "Doctor"})
+//	b.AddDatastore(ehr)
+//	b.AddService(dataflow.Service{ID: "medical", Name: "Medical Service"})
+//	b.AddFlow(dataflow.Flow{...})
+//	model, err := b.Build()
+type Builder struct {
+	model Model
+	errs  []error
+}
+
+// NewBuilder creates a builder for a model with the given name and data
+// subject.
+func NewBuilder(name string, user Actor) *Builder {
+	return &Builder{model: Model{Name: name, User: user}}
+}
+
+// AddActor adds an actor to the model.
+func (b *Builder) AddActor(a Actor) *Builder {
+	b.model.Actors = append(b.model.Actors, a)
+	return b
+}
+
+// AddActors adds several actors at once.
+func (b *Builder) AddActors(actors ...Actor) *Builder {
+	b.model.Actors = append(b.model.Actors, actors...)
+	return b
+}
+
+// AddDatastore adds a datastore to the model.
+func (b *Builder) AddDatastore(d schema.Datastore) *Builder {
+	b.model.Datastores = append(b.model.Datastores, d)
+	return b
+}
+
+// AddService adds a service to the model.
+func (b *Builder) AddService(s Service) *Builder {
+	b.model.Services = append(b.model.Services, s)
+	return b
+}
+
+// AddFlow adds a flow. The order within the service defaults to one more than
+// the highest order already present for that service when Order is zero.
+func (b *Builder) AddFlow(f Flow) *Builder {
+	if f.Order == 0 {
+		max := 0
+		for _, existing := range b.model.Flows {
+			if existing.Service == f.Service && existing.Order > max {
+				max = existing.Order
+			}
+		}
+		f.Order = max + 1
+	}
+	b.model.Flows = append(b.model.Flows, f)
+	return b
+}
+
+// Flow is a convenience wrapper around AddFlow for the common case.
+func (b *Builder) Flow(service, from, to string, fields []string, purpose string) *Builder {
+	return b.AddFlow(Flow{Service: service, From: from, To: to, Fields: fields, Purpose: purpose})
+}
+
+// AuthoredFlow adds a flow where the source actor authors some of the fields.
+func (b *Builder) AuthoredFlow(service, from, to string, fields, authored []string, purpose string) *Builder {
+	return b.AddFlow(Flow{Service: service, From: from, To: to, Fields: fields, Authored: authored, Purpose: purpose})
+}
+
+// WithPolicy attaches the access-control policy.
+func (b *Builder) WithPolicy(p accesscontrol.Policy) *Builder {
+	b.model.Policy = p
+	return b
+}
+
+// Build validates and returns the assembled model.
+func (b *Builder) Build() (*Model, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("dataflow: builder has %d errors, first: %w", len(b.errs), b.errs[0])
+	}
+	m := b.model
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// MustBuild is like Build but panics on error; intended for fixtures.
+func (b *Builder) MustBuild() *Model {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

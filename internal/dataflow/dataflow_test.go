@@ -1,0 +1,359 @@
+package dataflow
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"privascope/internal/accesscontrol"
+	"privascope/internal/schema"
+)
+
+// testModel builds a small two-service clinic model used across the tests in
+// this package. It is intentionally smaller than the full case study in
+// internal/casestudy.
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	ehrSchema := schema.MustSchema("ehr",
+		schema.Field{Name: "name", Category: schema.CategoryIdentifier},
+		schema.Field{Name: "diagnosis", Category: schema.CategorySensitive},
+	)
+	anonSchema := schema.MustSchema("ehr_anon",
+		schema.Field{Name: "diagnosis_anon", Category: schema.CategorySensitive, Pseudonymised: true},
+	)
+	acl := accesscontrol.MustACL(
+		accesscontrol.Grant{Actor: "doctor", Datastore: "ehr", Fields: []string{accesscontrol.AllFields},
+			Permissions: []accesscontrol.Permission{accesscontrol.PermissionRead, accesscontrol.PermissionWrite}},
+		accesscontrol.Grant{Actor: "researcher", Datastore: "anon_ehr", Fields: []string{accesscontrol.AllFields},
+			Permissions: []accesscontrol.Permission{accesscontrol.PermissionRead}},
+		accesscontrol.Grant{Actor: "admin", Datastore: "anon_ehr", Fields: []string{accesscontrol.AllFields},
+			Permissions: []accesscontrol.Permission{accesscontrol.PermissionWrite}},
+		accesscontrol.Grant{Actor: "admin", Datastore: "ehr", Fields: []string{accesscontrol.AllFields},
+			Permissions: []accesscontrol.Permission{accesscontrol.PermissionRead}, Reason: "maintenance"},
+	)
+
+	b := NewBuilder("clinic", Actor{ID: "patient", Name: "Patient"})
+	b.AddActors(
+		Actor{ID: "doctor", Name: "Doctor"},
+		Actor{ID: "admin", Name: "Administrator"},
+		Actor{ID: "researcher", Name: "Researcher"},
+	)
+	b.AddDatastore(schema.Datastore{ID: "ehr", Name: "EHR", Schema: ehrSchema})
+	b.AddDatastore(schema.Datastore{ID: "anon_ehr", Name: "Anonymised EHR", Schema: anonSchema, Anonymised: true})
+	b.AddService(Service{ID: "care", Name: "Care Service"})
+	b.AddService(Service{ID: "research", Name: "Research Service"})
+	b.Flow("care", "patient", "doctor", []string{"name"}, "registration")
+	b.AuthoredFlow("care", "doctor", "ehr", []string{"name", "diagnosis"}, []string{"diagnosis"}, "record consultation")
+	b.Flow("research", "ehr", "admin", []string{"diagnosis"}, "prepare research data")
+	b.Flow("research", "admin", "anon_ehr", []string{"diagnosis"}, "anonymise")
+	b.Flow("research", "anon_ehr", "researcher", []string{"diagnosis_anon"}, "analysis")
+	b.WithPolicy(acl)
+
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return m
+}
+
+func TestNodeKindString(t *testing.T) {
+	if NodeUser.String() != "user" || NodeActor.String() != "actor" || NodeDatastore.String() != "datastore" {
+		t.Error("NodeKind.String() wrong for defined kinds")
+	}
+	if got := NodeKind(9).String(); got != "nodekind(9)" {
+		t.Errorf("NodeKind(9).String() = %q", got)
+	}
+}
+
+func TestBuilderProducesValidModel(t *testing.T) {
+	m := testModel(t)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := len(m.Flows); got != 5 {
+		t.Errorf("len(Flows) = %d, want 5", got)
+	}
+	// Orders are auto-assigned per service.
+	careFlows := m.ServiceFlows("care")
+	if careFlows[0].Order != 1 || careFlows[1].Order != 2 {
+		t.Errorf("care flow orders = %d, %d", careFlows[0].Order, careFlows[1].Order)
+	}
+	researchFlows := m.ServiceFlows("research")
+	if len(researchFlows) != 3 || researchFlows[2].Order != 3 {
+		t.Errorf("research flows = %+v", researchFlows)
+	}
+}
+
+func TestModelLookups(t *testing.T) {
+	m := testModel(t)
+	if _, ok := m.Actor("doctor"); !ok {
+		t.Error("Actor(doctor) not found")
+	}
+	if _, ok := m.Actor("patient"); !ok {
+		t.Error("Actor(patient) should resolve the user")
+	}
+	if _, ok := m.Actor("ghost"); ok {
+		t.Error("Actor(ghost) should not resolve")
+	}
+	if _, ok := m.Datastore("ehr"); !ok {
+		t.Error("Datastore(ehr) not found")
+	}
+	if _, ok := m.Service("care"); !ok {
+		t.Error("Service(care) not found")
+	}
+	if k, ok := m.NodeKindOf("patient"); !ok || k != NodeUser {
+		t.Errorf("NodeKindOf(patient) = %v, %v", k, ok)
+	}
+	if k, ok := m.NodeKindOf("anon_ehr"); !ok || k != NodeDatastore {
+		t.Errorf("NodeKindOf(anon_ehr) = %v, %v", k, ok)
+	}
+	if _, ok := m.NodeKindOf("ghost"); ok {
+		t.Error("NodeKindOf(ghost) should fail")
+	}
+}
+
+func TestModelIDsSorted(t *testing.T) {
+	m := testModel(t)
+	if got := m.ActorIDs(); !reflect.DeepEqual(got, []string{"admin", "doctor", "researcher"}) {
+		t.Errorf("ActorIDs() = %v", got)
+	}
+	if got := m.DatastoreIDs(); !reflect.DeepEqual(got, []string{"anon_ehr", "ehr"}) {
+		t.Errorf("DatastoreIDs() = %v", got)
+	}
+	if got := m.ServiceIDs(); !reflect.DeepEqual(got, []string{"care", "research"}) {
+		t.Errorf("ServiceIDs() = %v", got)
+	}
+}
+
+func TestFieldUniverse(t *testing.T) {
+	m := testModel(t)
+	got := m.FieldUniverse()
+	want := []string{"diagnosis", "diagnosis_anon", "name"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FieldUniverse() = %v, want %v", got, want)
+	}
+}
+
+func TestServiceActors(t *testing.T) {
+	m := testModel(t)
+	if got := m.ServiceActors("care"); !reflect.DeepEqual(got, []string{"doctor"}) {
+		t.Errorf("ServiceActors(care) = %v", got)
+	}
+	if got := m.ServiceActors("research"); !reflect.DeepEqual(got, []string{"admin", "researcher"}) {
+		t.Errorf("ServiceActors(research) = %v", got)
+	}
+	if got := m.ServiceActors("care", "research"); !reflect.DeepEqual(got, []string{"admin", "doctor", "researcher"}) {
+		t.Errorf("ServiceActors(care, research) = %v", got)
+	}
+	if got := m.ServiceActors(); len(got) != 0 {
+		t.Errorf("ServiceActors() = %v, want empty", got)
+	}
+}
+
+func TestFieldSensitivity(t *testing.T) {
+	m := testModel(t)
+	if got := m.FieldSensitivity("diagnosis"); got != schema.CategorySensitive {
+		t.Errorf("FieldSensitivity(diagnosis) = %v", got)
+	}
+	if got := m.FieldSensitivity("unknown_field"); got != schema.CategoryStandard {
+		t.Errorf("FieldSensitivity(unknown_field) = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := testModel(t)
+	s := m.Stats()
+	want := Stats{Actors: 3, Datastores: 2, Services: 2, Flows: 5, Fields: 3, StateVariables: 18}
+	if s != want {
+		t.Errorf("Stats() = %+v, want %+v", s, want)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := func() *Model { return testModel(t) }
+
+	tests := []struct {
+		name    string
+		mutate  func(*Model)
+		wantSub string
+	}{
+		{"empty name", func(m *Model) { m.Name = " " }, "name"},
+		{"missing user", func(m *Model) { m.User.ID = "" }, "user"},
+		{"duplicate actor id", func(m *Model) { m.Actors = append(m.Actors, Actor{ID: "doctor"}) }, "doctor"},
+		{"actor id clashes with user", func(m *Model) { m.Actors = append(m.Actors, Actor{ID: "patient"}) }, "patient"},
+		{"duplicate datastore id", func(m *Model) {
+			m.Datastores = append(m.Datastores, schema.Datastore{ID: "ehr",
+				Schema: schema.MustSchema("x", schema.Field{Name: "f", Category: schema.CategoryStandard})})
+		}, "ehr"},
+		{"duplicate service", func(m *Model) { m.Services = append(m.Services, Service{ID: "care"}) }, "care"},
+		{"flow to unknown service", func(m *Model) { m.Flows[0].Service = "ghost" }, "service"},
+		{"flow from unknown node", func(m *Model) { m.Flows[0].From = "ghost" }, "ghost"},
+		{"flow to unknown node", func(m *Model) { m.Flows[0].To = "ghost" }, "ghost"},
+		{"flow to the user", func(m *Model) { m.Flows[0].To = "patient" }, "data subject"},
+		{"flow without fields", func(m *Model) { m.Flows[0].Fields = nil }, "no fields"},
+		{"store field not in schema", func(m *Model) { m.Flows[1].Fields = []string{"name", "blood_type"} }, "blood_type"},
+		{"authored not carried", func(m *Model) { m.Flows[1].Authored = []string{"appointment"} }, "authors"},
+		{"authored from datastore", func(m *Model) { m.Flows[2].Authored = []string{"diagnosis"} }, "author"},
+		{"duplicate order", func(m *Model) { m.Flows[1].Order = 1 }, "order"},
+		{"store to store flow", func(m *Model) {
+			m.Flows = append(m.Flows, Flow{Service: "care", Order: 9, From: "ehr", To: "anon_ehr", Fields: []string{"diagnosis"}})
+		}, "datastores"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := base()
+			tt.mutate(m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateAnonStoreAcceptsPlainFieldWrite(t *testing.T) {
+	// Writing "diagnosis" into the anonymised store is valid because the
+	// store declares "diagnosis_anon"; the flow models the anon action.
+	m := testModel(t)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// But reading a plain field *out* of the anonymised store is invalid.
+	m.Flows = append(m.Flows, Flow{Service: "research", Order: 9, From: "anon_ehr", To: "researcher",
+		Fields: []string{"diagnosis"}, Purpose: "oops"})
+	if err := m.Validate(); err == nil {
+		t.Error("reading plain field from anonymised store should fail validation")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	m := testModel(t)
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Name != m.Name || len(got.Flows) != len(m.Flows) || len(got.Actors) != len(m.Actors) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	// The ACL policy must survive the round trip.
+	if got.Policy == nil {
+		t.Fatal("round-tripped model lost its policy")
+	}
+	if !got.Policy.Allows("admin", "ehr", "diagnosis", accesscontrol.PermissionRead) {
+		t.Error("round-tripped policy lost admin read grant")
+	}
+	if got.Policy.Allows("researcher", "ehr", "diagnosis", accesscontrol.PermissionRead) {
+		t.Error("round-tripped policy allows access it should not")
+	}
+}
+
+func TestMarshalNil(t *testing.T) {
+	if _, err := Marshal(nil); err == nil {
+		t.Error("Marshal(nil) should fail")
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	if _, err := Unmarshal([]byte(`{not json`)); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+	// Structurally valid JSON but semantically invalid model.
+	if _, err := Unmarshal([]byte(`{"name":"m","user":{"id":""}}`)); err == nil {
+		t.Error("model without user accepted")
+	}
+	// Bad permission name in ACL.
+	doc := `{"name":"m","user":{"id":"u"},"actors":[{"id":"a"}],
+	  "datastores":[{"id":"d","schema":{"name":"d","fields":[{"name":"f","category":1}]}}],
+	  "services":[{"id":"s"}],
+	  "flows":[{"service":"s","order":1,"from":"u","to":"a","fields":["f"],"purpose":"p"}],
+	  "acl":[{"actor":"a","datastore":"d","fields":["f"],"permissions":["fly"]}]}`
+	if _, err := Unmarshal([]byte(doc)); err == nil {
+		t.Error("ACL with unknown permission accepted")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	m := testModel(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := Save(m, path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Name != "clinic" {
+		t.Errorf("loaded model name = %q", got.Name)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("Load of missing file should fail")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	m := testModel(t)
+	out := m.DOT()
+	for _, want := range []string{
+		"digraph clinic {",
+		`shape="oval"`,
+		`shape="box"`,
+		"patient -> doctor",
+		"anon_ehr -> researcher",
+		"registration",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT() missing %q", want)
+		}
+	}
+	// Anonymised store drawn dashed.
+	if !strings.Contains(out, `style="dashed"`) {
+		t.Error("DOT() should draw anonymised stores dashed")
+	}
+}
+
+func TestServiceDOT(t *testing.T) {
+	m := testModel(t)
+	out, err := m.ServiceDOT("care")
+	if err != nil {
+		t.Fatalf("ServiceDOT: %v", err)
+	}
+	if !strings.Contains(out, "patient -> doctor") {
+		t.Error("ServiceDOT(care) missing care flow")
+	}
+	if strings.Contains(out, "researcher") {
+		t.Error("ServiceDOT(care) should not include research-only nodes")
+	}
+	if _, err := m.ServiceDOT("ghost"); err == nil {
+		t.Error("ServiceDOT(ghost) should fail")
+	}
+}
+
+func TestFlowKeyAndSets(t *testing.T) {
+	f := Flow{Service: "care", Order: 2, From: "doctor", To: "ehr", Fields: []string{"b", "a"}, Authored: []string{"a"}}
+	if got := f.Key(); got != "care/2:doctor->ehr" {
+		t.Errorf("Key() = %q", got)
+	}
+	if got := f.FieldSet().String(); got != "a, b" {
+		t.Errorf("FieldSet() = %q", got)
+	}
+	if got := f.AuthoredSet().String(); got != "a" {
+		t.Errorf("AuthoredSet() = %q", got)
+	}
+}
+
+func TestBuilderMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild on invalid model should panic")
+		}
+	}()
+	NewBuilder("", Actor{}).MustBuild()
+}

@@ -1,0 +1,137 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"privascope/internal/dot"
+)
+
+// DOT renders the model's data-flow diagrams in Graphviz DOT format,
+// reproducing the visual conventions of the paper's Fig. 1: actors are ovals,
+// datastores are rectangles labelled with their identifier and schema, and
+// every flow arrow is labelled with its fields, purpose, and order. Each
+// service is drawn as its own cluster.
+func (m *Model) DOT() string {
+	g := dot.NewGraph(sanitizeName(m.Name))
+	g.SetGraphAttr("rankdir", "LR")
+	g.SetGraphAttr("fontname", "Helvetica")
+	g.SetNodeDefault("fontname", "Helvetica")
+	g.SetEdgeDefault("fontname", "Helvetica")
+
+	g.AddNode(m.User.ID, map[string]string{
+		"shape": "oval", "style": "bold", "label": displayName(m.User.Name, m.User.ID),
+	})
+	for _, a := range m.Actors {
+		g.AddNode(a.ID, map[string]string{"shape": "oval", "label": displayName(a.Name, a.ID)})
+	}
+	for _, d := range m.Datastores {
+		label := fmt.Sprintf("%s\n[%s]", displayName(d.Name, d.ID), strings.Join(d.Schema.FieldNames(), ", "))
+		attrs := map[string]string{"shape": "box", "label": label}
+		if d.Anonymised {
+			attrs["style"] = "dashed"
+		}
+		g.AddNode(d.ID, attrs)
+	}
+
+	// One cluster per service listing the participating actors/stores keeps
+	// the two diagrams of Fig. 1 visually separate while sharing nodes.
+	serviceIDs := m.ServiceIDs()
+	for _, sid := range serviceIDs {
+		flows := m.ServiceFlows(sid)
+		sort.Slice(flows, func(i, j int) bool { return flows[i].Order < flows[j].Order })
+		for _, f := range flows {
+			label := fmt.Sprintf("%d. {%s}\n%s", f.Order, strings.Join(f.Fields, ", "), f.Purpose)
+			attrs := map[string]string{"label": label}
+			if len(serviceIDs) > 1 {
+				attrs["color"] = serviceColor(sid, serviceIDs)
+				attrs["fontcolor"] = serviceColor(sid, serviceIDs)
+			}
+			g.AddEdge(f.From, f.To, attrs)
+		}
+	}
+	return g.Render()
+}
+
+// ServiceDOT renders the data-flow diagram of a single service.
+func (m *Model) ServiceDOT(serviceID string) (string, error) {
+	svc, ok := m.Service(serviceID)
+	if !ok {
+		return "", fmt.Errorf("dataflow: unknown service %q", serviceID)
+	}
+	g := dot.NewGraph(sanitizeName(m.Name + "_" + serviceID))
+	g.SetGraphAttr("rankdir", "LR")
+	g.SetGraphAttr("label", displayName(svc.Name, svc.ID))
+	nodes := make(map[string]bool)
+	flows := m.ServiceFlows(serviceID)
+	for _, f := range flows {
+		nodes[f.From] = true
+		nodes[f.To] = true
+	}
+	addNode := func(id string) {
+		kind, _ := m.NodeKindOf(id)
+		switch kind {
+		case NodeUser:
+			g.AddNode(id, map[string]string{"shape": "oval", "style": "bold", "label": displayName(m.User.Name, id)})
+		case NodeActor:
+			a, _ := m.Actor(id)
+			g.AddNode(id, map[string]string{"shape": "oval", "label": displayName(a.Name, id)})
+		case NodeDatastore:
+			d, _ := m.Datastore(id)
+			label := fmt.Sprintf("%s\n[%s]", displayName(d.Name, d.ID), strings.Join(d.Schema.FieldNames(), ", "))
+			attrs := map[string]string{"shape": "box", "label": label}
+			if d.Anonymised {
+				attrs["style"] = "dashed"
+			}
+			g.AddNode(id, attrs)
+		}
+	}
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		addNode(id)
+	}
+	for _, f := range flows {
+		label := fmt.Sprintf("%d. {%s}\n%s", f.Order, strings.Join(f.Fields, ", "), f.Purpose)
+		g.AddEdge(f.From, f.To, map[string]string{"label": label})
+	}
+	return g.Render(), nil
+}
+
+var serviceColors = []string{"black", "blue", "darkgreen", "red4", "purple", "orange3"}
+
+func serviceColor(serviceID string, all []string) string {
+	for i, id := range all {
+		if id == serviceID {
+			return serviceColors[i%len(serviceColors)]
+		}
+	}
+	return "black"
+}
+
+func displayName(name, id string) string {
+	if name != "" {
+		return name
+	}
+	return id
+}
+
+func sanitizeName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "model"
+	}
+	return string(out)
+}

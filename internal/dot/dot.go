@@ -1,0 +1,229 @@
+// Package dot provides a minimal builder for Graphviz DOT documents.
+//
+// The rest of the repository uses it to render data-flow diagrams (Fig. 1 of
+// the paper) and labelled transition systems (Figs. 3 and 4) as text that can
+// be piped straight into `dot -Tpng`. Only the small subset of the DOT
+// language needed by those renderers is supported: directed graphs, node and
+// edge attributes, and named subgraph clusters.
+package dot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is a directed DOT graph under construction. The zero value is not
+// usable; create graphs with NewGraph.
+type Graph struct {
+	name      string
+	graphAttr map[string]string
+	nodeAttr  map[string]string
+	edgeAttr  map[string]string
+	nodes     []*node
+	nodeIndex map[string]*node
+	edges     []*edge
+	clusters  []*Cluster
+}
+
+// Cluster is a named subgraph rendered as a DOT cluster.
+type Cluster struct {
+	name  string
+	label string
+	attrs map[string]string
+	nodes []string
+}
+
+type node struct {
+	id    string
+	attrs map[string]string
+}
+
+type edge struct {
+	from, to string
+	attrs    map[string]string
+}
+
+// NewGraph creates an empty directed graph with the given name.
+func NewGraph(name string) *Graph {
+	return &Graph{
+		name:      name,
+		graphAttr: make(map[string]string),
+		nodeAttr:  make(map[string]string),
+		edgeAttr:  make(map[string]string),
+		nodeIndex: make(map[string]*node),
+	}
+}
+
+// SetGraphAttr sets a graph-level attribute such as "rankdir".
+func (g *Graph) SetGraphAttr(key, value string) { g.graphAttr[key] = value }
+
+// SetNodeDefault sets a default attribute applied to every node.
+func (g *Graph) SetNodeDefault(key, value string) { g.nodeAttr[key] = value }
+
+// SetEdgeDefault sets a default attribute applied to every edge.
+func (g *Graph) SetEdgeDefault(key, value string) { g.edgeAttr[key] = value }
+
+// AddNode adds (or updates) a node with the given identifier and attributes.
+// Attribute maps are copied; callers may reuse the map afterwards.
+func (g *Graph) AddNode(id string, attrs map[string]string) {
+	if existing, ok := g.nodeIndex[id]; ok {
+		for k, v := range attrs {
+			existing.attrs[k] = v
+		}
+		return
+	}
+	n := &node{id: id, attrs: copyAttrs(attrs)}
+	g.nodes = append(g.nodes, n)
+	g.nodeIndex[id] = n
+}
+
+// HasNode reports whether a node with the identifier has been added.
+func (g *Graph) HasNode(id string) bool {
+	_, ok := g.nodeIndex[id]
+	return ok
+}
+
+// NodeCount returns the number of nodes added to the graph.
+func (g *Graph) NodeCount() int { return len(g.nodes) }
+
+// EdgeCount returns the number of edges added to the graph.
+func (g *Graph) EdgeCount() int { return len(g.edges) }
+
+// AddEdge adds a directed edge between two node identifiers. Nodes that have
+// not been declared are created implicitly with no attributes.
+func (g *Graph) AddEdge(from, to string, attrs map[string]string) {
+	if !g.HasNode(from) {
+		g.AddNode(from, nil)
+	}
+	if !g.HasNode(to) {
+		g.AddNode(to, nil)
+	}
+	g.edges = append(g.edges, &edge{from: from, to: to, attrs: copyAttrs(attrs)})
+}
+
+// AddCluster creates a subgraph cluster with the given name and display
+// label, and returns it so nodes can be assigned to it.
+func (g *Graph) AddCluster(name, label string) *Cluster {
+	c := &Cluster{name: name, label: label, attrs: make(map[string]string)}
+	g.clusters = append(g.clusters, c)
+	return c
+}
+
+// SetAttr sets a cluster-level attribute such as "style".
+func (c *Cluster) SetAttr(key, value string) { c.attrs[key] = value }
+
+// AddNode assigns an existing (or future) node identifier to the cluster.
+func (c *Cluster) AddNode(id string) { c.nodes = append(c.nodes, id) }
+
+// Render produces the DOT document as a string.
+func (g *Graph) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", quoteID(g.name))
+	writeAttrLines(&b, "  ", g.graphAttr)
+	if len(g.nodeAttr) > 0 {
+		fmt.Fprintf(&b, "  node %s;\n", attrList(g.nodeAttr))
+	}
+	if len(g.edgeAttr) > 0 {
+		fmt.Fprintf(&b, "  edge %s;\n", attrList(g.edgeAttr))
+	}
+	clustered := make(map[string]bool)
+	for _, c := range g.clusters {
+		fmt.Fprintf(&b, "  subgraph %s {\n", quoteID("cluster_"+c.name))
+		fmt.Fprintf(&b, "    label=%s;\n", quote(c.label))
+		writeAttrLines(&b, "    ", c.attrs)
+		for _, id := range c.nodes {
+			clustered[id] = true
+			if n, ok := g.nodeIndex[id]; ok {
+				writeNode(&b, "    ", n)
+			}
+		}
+		b.WriteString("  }\n")
+	}
+	for _, n := range g.nodes {
+		if clustered[n.id] {
+			continue
+		}
+		writeNode(&b, "  ", n)
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(&b, "  %s -> %s", quoteID(e.from), quoteID(e.to))
+		if len(e.attrs) > 0 {
+			fmt.Fprintf(&b, " %s", attrList(e.attrs))
+		}
+		b.WriteString(";\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, indent string, n *node) {
+	fmt.Fprintf(b, "%s%s", indent, quoteID(n.id))
+	if len(n.attrs) > 0 {
+		fmt.Fprintf(b, " %s", attrList(n.attrs))
+	}
+	b.WriteString(";\n")
+}
+
+func writeAttrLines(b *strings.Builder, indent string, attrs map[string]string) {
+	for _, k := range sortedKeys(attrs) {
+		fmt.Fprintf(b, "%s%s=%s;\n", indent, k, quote(attrs[k]))
+	}
+}
+
+func attrList(attrs map[string]string) string {
+	parts := make([]string, 0, len(attrs))
+	for _, k := range sortedKeys(attrs) {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, quote(attrs[k])))
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func copyAttrs(attrs map[string]string) map[string]string {
+	out := make(map[string]string, len(attrs))
+	for k, v := range attrs {
+		out[k] = v
+	}
+	return out
+}
+
+// quote renders a value as a quoted DOT string, escaping embedded quotes and
+// newlines.
+func quote(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return `"` + s + `"`
+}
+
+// quoteID quotes an identifier unless it is already a safe DOT ID.
+func quoteID(s string) string {
+	if s == "" {
+		return `""`
+	}
+	safe := true
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9' && i > 0:
+		default:
+			safe = false
+		}
+		if !safe {
+			break
+		}
+	}
+	if safe {
+		return s
+	}
+	return quote(s)
+}

@@ -1,0 +1,277 @@
+package lts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StatePredicate selects states, e.g. "some non-allowed actor could identify
+// the diagnosis field".
+type StatePredicate func(StateID) bool
+
+// TransitionPredicate selects transitions, e.g. "a read action by the
+// Administrator".
+type TransitionPredicate func(Transition) bool
+
+// Trace is a path through the LTS starting at some state: a sequence of
+// transitions where each transition's source is the previous one's target.
+type Trace []Transition
+
+// String renders the trace one transition per line.
+func (tr Trace) String() string {
+	parts := make([]string, len(tr))
+	for i, t := range tr {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// End returns the final state of the trace, or the given start state if the
+// trace is empty.
+func (tr Trace) End(start StateID) StateID {
+	if len(tr) == 0 {
+		return start
+	}
+	return tr[len(tr)-1].To
+}
+
+// FindStates returns the reachable states satisfying the predicate, sorted.
+func (l *LTS) FindStates(pred StatePredicate) ([]StateID, error) {
+	reach, err := l.Reachable()
+	if err != nil {
+		return nil, err
+	}
+	var out []StateID
+	for id := range reach {
+		if pred(id) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// FindTransitions returns the transitions (between reachable states)
+// satisfying the predicate, in insertion order.
+func (l *LTS) FindTransitions(pred TransitionPredicate) ([]Transition, error) {
+	reach, err := l.Reachable()
+	if err != nil {
+		return nil, err
+	}
+	var out []Transition
+	for _, t := range l.transitions {
+		if reach[t.From] && pred(t) {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// Exists reports whether some reachable state satisfies the predicate
+// (the modal-logic EF operator) and, if so, returns a shortest witness trace
+// from the initial state to such a state.
+func (l *LTS) Exists(pred StatePredicate) (bool, Trace, error) {
+	if !l.hasInitial {
+		return false, nil, ErrNoInitialState
+	}
+	trace, found := l.shortestTrace(l.initial, pred)
+	return found, trace, nil
+}
+
+// Always reports whether every reachable state satisfies the predicate
+// (the AG operator). If not, it returns a shortest counter-example trace to a
+// violating state.
+func (l *LTS) Always(pred StatePredicate) (bool, Trace, error) {
+	violating, trace, err := l.Exists(func(id StateID) bool { return !pred(id) })
+	if err != nil {
+		return false, nil, err
+	}
+	if violating {
+		return false, trace, nil
+	}
+	return true, nil, nil
+}
+
+// shortestTrace runs a BFS from start and returns the shortest trace to a
+// state satisfying pred.
+func (l *LTS) shortestTrace(start StateID, pred StatePredicate) (Trace, bool) {
+	if !l.HasState(start) {
+		return nil, false
+	}
+	if pred(start) {
+		return Trace{}, true
+	}
+	type parentLink struct {
+		prev StateID
+		via  int // transition index
+	}
+	parents := map[StateID]parentLink{}
+	visited := map[StateID]bool{start: true}
+	queue := []StateID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, idx := range l.outgoing[cur] {
+			next := l.transitions[idx].To
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			parents[next] = parentLink{prev: cur, via: idx}
+			if pred(next) {
+				// Reconstruct the trace.
+				var rev []Transition
+				for at := next; at != start; {
+					link := parents[at]
+					rev = append(rev, l.transitions[link.via])
+					at = link.prev
+				}
+				trace := make(Trace, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					trace = append(trace, rev[i])
+				}
+				return trace, true
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil, false
+}
+
+// ShortestTraceTo returns the shortest trace from the initial state to the
+// given state.
+func (l *LTS) ShortestTraceTo(target StateID) (Trace, error) {
+	if !l.hasInitial {
+		return nil, ErrNoInitialState
+	}
+	trace, ok := l.shortestTrace(l.initial, func(id StateID) bool { return id == target })
+	if !ok {
+		return nil, fmt.Errorf("lts: state %q is not reachable from the initial state", target)
+	}
+	return trace, nil
+}
+
+// TracesFrom enumerates every simple path (no repeated states) of length at
+// most maxDepth starting from the given state. The traversal is bounded to
+// maxTraces paths so callers cannot accidentally explode; a negative
+// maxTraces means unbounded.
+func (l *LTS) TracesFrom(start StateID, maxDepth, maxTraces int) []Trace {
+	var out []Trace
+	var cur Trace
+	visited := map[StateID]bool{start: true}
+	var walk func(from StateID, depth int)
+	walk = func(from StateID, depth int) {
+		if maxTraces >= 0 && len(out) >= maxTraces {
+			return
+		}
+		outgoing := l.Outgoing(from)
+		extended := false
+		if depth < maxDepth {
+			for _, t := range outgoing {
+				if visited[t.To] {
+					continue
+				}
+				visited[t.To] = true
+				cur = append(cur, t)
+				walk(t.To, depth+1)
+				cur = cur[:len(cur)-1]
+				visited[t.To] = false
+				extended = true
+			}
+		}
+		if !extended && len(cur) > 0 {
+			trace := make(Trace, len(cur))
+			copy(trace, cur)
+			out = append(out, trace)
+		}
+	}
+	walk(start, 0)
+	return out
+}
+
+// Minimize returns a new LTS that is the quotient of l under label-signature
+// partition refinement: states are merged when they have the same outgoing
+// label set and their successors fall in the same blocks, iterated to a fixed
+// point. This is strong-bisimulation minimisation restricted to label
+// strings; it is used to present compact views of large generated models.
+// The mapping from original state IDs to representative IDs is also returned.
+func (l *LTS) Minimize() (*LTS, map[StateID]StateID) {
+	// Initial partition: all states in one block (split by terminal/non-terminal).
+	block := make(map[StateID]int, len(l.states))
+	for _, id := range l.order {
+		if len(l.outgoing[id]) == 0 {
+			block[id] = 1
+		} else {
+			block[id] = 0
+		}
+	}
+	blockCount := func(b map[StateID]int) int {
+		set := make(map[int]bool, len(b))
+		for _, v := range b {
+			set[v] = true
+		}
+		return len(set)
+	}
+	for {
+		// Signature: current block plus the sorted list of "label->block"
+		// pairs of the outgoing transitions. Because the current block is
+		// part of the signature, each round refines the previous partition,
+		// so the block count is non-decreasing and the loop terminates.
+		sigOf := func(id StateID) string {
+			parts := make([]string, 0, len(l.outgoing[id]))
+			for _, idx := range l.outgoing[id] {
+				t := l.transitions[idx]
+				label := ""
+				if t.Label != nil {
+					label = t.Label.LabelString()
+				}
+				parts = append(parts, fmt.Sprintf("%s\x00%d", label, block[t.To]))
+			}
+			sort.Strings(parts)
+			return fmt.Sprintf("%d|%s", block[id], strings.Join(parts, "\x01"))
+		}
+		sigBlocks := make(map[string]int)
+		newBlock := make(map[StateID]int, len(l.states))
+		for _, id := range l.order {
+			sig := sigOf(id)
+			b, ok := sigBlocks[sig]
+			if !ok {
+				b = len(sigBlocks)
+				sigBlocks[sig] = b
+			}
+			newBlock[id] = b
+		}
+		stable := blockCount(newBlock) == blockCount(block)
+		block = newBlock
+		if stable {
+			break
+		}
+	}
+
+	// Representative of each block: the first state in insertion order.
+	repOf := make(map[int]StateID)
+	mapping := make(map[StateID]StateID, len(l.states))
+	for _, id := range l.order {
+		b := block[id]
+		if _, ok := repOf[b]; !ok {
+			repOf[b] = id
+		}
+		mapping[id] = repOf[b]
+	}
+
+	min := New()
+	for _, id := range l.order {
+		if mapping[id] == id {
+			s := l.states[id]
+			min.AddState(id, s.Props)
+		}
+	}
+	if l.hasInitial {
+		min.SetInitial(mapping[l.initial])
+	}
+	for _, t := range l.transitions {
+		min.AddTransition(mapping[t.From], mapping[t.To], t.Label)
+	}
+	return min, mapping
+}

@@ -1,0 +1,373 @@
+// Package lts provides a general-purpose Labelled Transition System (LTS)
+// library: construction, traversal, trace extraction, property checking,
+// minimisation and rendering.
+//
+// The paper's formal model of user privacy (Section II-B) is an LTS whose
+// states represent the user's state of privacy and whose labelled transitions
+// represent actions on personal data. This package is deliberately agnostic
+// about what states and labels mean: package core layers the privacy
+// semantics (state variables, actions, extraction rules) on top of it, and
+// the analyses in packages risk and pseudorisk annotate it.
+package lts
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StateID identifies a state within an LTS.
+type StateID string
+
+// Label is implemented by transition labels. Labels must be immutable once
+// attached to a transition.
+type Label interface {
+	// LabelString returns a short human-readable rendering of the label,
+	// used in traces, reports and DOT output.
+	LabelString() string
+}
+
+// StringLabel is a trivial Label for tests and simple systems.
+type StringLabel string
+
+// LabelString implements Label.
+func (s StringLabel) LabelString() string { return string(s) }
+
+var _ Label = StringLabel("")
+
+// State is a node of the LTS. Props holds small display-oriented annotations;
+// richer per-state data (such as the privacy state vector) is kept by the
+// layer that builds the LTS, keyed by the state ID.
+type State struct {
+	ID StateID
+	// Props are optional display annotations (e.g. "phase": "after-care").
+	Props map[string]string
+}
+
+// Transition is a directed, labelled edge of the LTS.
+type Transition struct {
+	From  StateID
+	To    StateID
+	Label Label
+}
+
+// String renders the transition for traces and error messages.
+func (t Transition) String() string {
+	label := ""
+	if t.Label != nil {
+		label = t.Label.LabelString()
+	}
+	return fmt.Sprintf("%s --[%s]--> %s", t.From, label, t.To)
+}
+
+// LTS is a labelled transition system. The zero value is not usable; create
+// instances with New. An LTS is not safe for concurrent mutation; once built
+// it is safe for concurrent readers.
+type LTS struct {
+	initial     StateID
+	hasInitial  bool
+	states      map[StateID]State
+	order       []StateID // insertion order, for deterministic iteration
+	transitions []Transition
+	outgoing    map[StateID][]int // state -> indices into transitions
+	incoming    map[StateID][]int
+}
+
+// New returns an empty LTS.
+func New() *LTS {
+	return &LTS{
+		states:   make(map[StateID]State),
+		outgoing: make(map[StateID][]int),
+		incoming: make(map[StateID][]int),
+	}
+}
+
+// AddState adds a state. Adding an existing ID merges the props.
+func (l *LTS) AddState(id StateID, props map[string]string) {
+	if existing, ok := l.states[id]; ok {
+		if len(props) > 0 {
+			if existing.Props == nil {
+				existing.Props = make(map[string]string, len(props))
+			}
+			for k, v := range props {
+				existing.Props[k] = v
+			}
+			l.states[id] = existing
+		}
+		return
+	}
+	s := State{ID: id}
+	if len(props) > 0 {
+		s.Props = make(map[string]string, len(props))
+		for k, v := range props {
+			s.Props[k] = v
+		}
+	}
+	l.states[id] = s
+	l.order = append(l.order, id)
+}
+
+// SetInitial marks the initial state, adding it if necessary.
+func (l *LTS) SetInitial(id StateID) {
+	l.AddState(id, nil)
+	l.initial = id
+	l.hasInitial = true
+}
+
+// Initial returns the initial state ID; ok is false if none was set.
+func (l *LTS) Initial() (StateID, bool) { return l.initial, l.hasInitial }
+
+// HasState reports whether the state exists.
+func (l *LTS) HasState(id StateID) bool {
+	_, ok := l.states[id]
+	return ok
+}
+
+// State returns the state with the given ID.
+func (l *LTS) State(id StateID) (State, bool) {
+	s, ok := l.states[id]
+	return s, ok
+}
+
+// AddTransition adds a labelled transition, creating missing endpoint states.
+// The same (from, label, to) triple may be added only once; duplicates are
+// silently ignored so generators can be written without bookkeeping.
+func (l *LTS) AddTransition(from, to StateID, label Label) {
+	l.AddState(from, nil)
+	l.AddState(to, nil)
+	labelStr := ""
+	if label != nil {
+		labelStr = label.LabelString()
+	}
+	for _, idx := range l.outgoing[from] {
+		t := l.transitions[idx]
+		if t.To != to {
+			continue
+		}
+		existing := ""
+		if t.Label != nil {
+			existing = t.Label.LabelString()
+		}
+		if existing == labelStr {
+			return
+		}
+	}
+	l.transitions = append(l.transitions, Transition{From: from, To: to, Label: label})
+	idx := len(l.transitions) - 1
+	l.outgoing[from] = append(l.outgoing[from], idx)
+	l.incoming[to] = append(l.incoming[to], idx)
+}
+
+// StateCount returns the number of states.
+func (l *LTS) StateCount() int { return len(l.states) }
+
+// TransitionCount returns the number of transitions.
+func (l *LTS) TransitionCount() int { return len(l.transitions) }
+
+// StateIDs returns all state IDs in insertion order.
+func (l *LTS) StateIDs() []StateID {
+	out := make([]StateID, len(l.order))
+	copy(out, l.order)
+	return out
+}
+
+// Transitions returns a copy of all transitions in insertion order.
+func (l *LTS) Transitions() []Transition {
+	out := make([]Transition, len(l.transitions))
+	copy(out, l.transitions)
+	return out
+}
+
+// Outgoing returns the transitions leaving the given state, in insertion
+// order.
+func (l *LTS) Outgoing(id StateID) []Transition {
+	idxs := l.outgoing[id]
+	out := make([]Transition, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, l.transitions[i])
+	}
+	return out
+}
+
+// Incoming returns the transitions entering the given state.
+func (l *LTS) Incoming(id StateID) []Transition {
+	idxs := l.incoming[id]
+	out := make([]Transition, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, l.transitions[i])
+	}
+	return out
+}
+
+// Successors returns the distinct successor state IDs of the given state,
+// sorted.
+func (l *LTS) Successors(id StateID) []StateID {
+	set := make(map[StateID]bool)
+	for _, t := range l.Outgoing(id) {
+		set[t.To] = true
+	}
+	out := make([]StateID, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ErrNoInitialState is returned by analyses that require an initial state.
+var ErrNoInitialState = errors.New("lts: no initial state set")
+
+// Reachable returns the set of states reachable from the initial state
+// (including it), as a map for membership tests.
+func (l *LTS) Reachable() (map[StateID]bool, error) {
+	if !l.hasInitial {
+		return nil, ErrNoInitialState
+	}
+	return l.ReachableFrom(l.initial), nil
+}
+
+// ReachableFrom returns the set of states reachable from the given state.
+func (l *LTS) ReachableFrom(start StateID) map[StateID]bool {
+	visited := make(map[StateID]bool)
+	if !l.HasState(start) {
+		return visited
+	}
+	stack := []StateID{start}
+	visited[start] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, idx := range l.outgoing[cur] {
+			next := l.transitions[idx].To
+			if !visited[next] {
+				visited[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return visited
+}
+
+// UnreachableStates returns states not reachable from the initial state,
+// sorted by ID. Generators should normally produce none.
+func (l *LTS) UnreachableStates() ([]StateID, error) {
+	reach, err := l.Reachable()
+	if err != nil {
+		return nil, err
+	}
+	var out []StateID
+	for _, id := range l.order {
+		if !reach[id] {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// TerminalStates returns reachable states with no outgoing transitions,
+// sorted by ID.
+func (l *LTS) TerminalStates() ([]StateID, error) {
+	reach, err := l.Reachable()
+	if err != nil {
+		return nil, err
+	}
+	var out []StateID
+	for _, id := range l.order {
+		if reach[id] && len(l.outgoing[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// IsDeterministic reports whether no state has two outgoing transitions with
+// the same label string leading to different states.
+func (l *LTS) IsDeterministic() bool {
+	for id := range l.states {
+		seen := make(map[string]StateID)
+		for _, t := range l.Outgoing(id) {
+			label := ""
+			if t.Label != nil {
+				label = t.Label.LabelString()
+			}
+			if prev, ok := seen[label]; ok && prev != t.To {
+				return false
+			}
+			seen[label] = t.To
+		}
+	}
+	return true
+}
+
+// Stats summarises the size and shape of the LTS.
+type Stats struct {
+	States      int
+	Transitions int
+	Terminal    int
+	Unreachable int
+	// MaxOutDegree is the largest number of transitions leaving any state.
+	MaxOutDegree int
+	// Depth is the length of the longest shortest-path from the initial
+	// state to any reachable state (the "diameter" from the initial state).
+	Depth int
+}
+
+// Stats computes summary statistics. It requires an initial state.
+func (l *LTS) Stats() (Stats, error) {
+	if !l.hasInitial {
+		return Stats{}, ErrNoInitialState
+	}
+	st := Stats{States: len(l.states), Transitions: len(l.transitions)}
+	term, err := l.TerminalStates()
+	if err != nil {
+		return Stats{}, err
+	}
+	st.Terminal = len(term)
+	unreach, err := l.UnreachableStates()
+	if err != nil {
+		return Stats{}, err
+	}
+	st.Unreachable = len(unreach)
+	for id := range l.states {
+		if d := len(l.outgoing[id]); d > st.MaxOutDegree {
+			st.MaxOutDegree = d
+		}
+	}
+	// BFS for depth.
+	dist := map[StateID]int{l.initial: 0}
+	queue := []StateID{l.initial}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if dist[cur] > st.Depth {
+			st.Depth = dist[cur]
+		}
+		for _, idx := range l.outgoing[cur] {
+			next := l.transitions[idx].To
+			if _, ok := dist[next]; !ok {
+				dist[next] = dist[cur] + 1
+				queue = append(queue, next)
+			}
+		}
+	}
+	return st, nil
+}
+
+// String renders a compact multi-line description of the LTS, useful in
+// examples and debugging output.
+func (l *LTS) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "LTS: %d states, %d transitions\n", len(l.states), len(l.transitions))
+	if l.hasInitial {
+		fmt.Fprintf(&b, "initial: %s\n", l.initial)
+	}
+	for _, id := range l.order {
+		for _, t := range l.Outgoing(id) {
+			fmt.Fprintf(&b, "  %s\n", t)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package lts
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"privascope/internal/dot"
+)
+
+// DOTOptions controls how an LTS is rendered to Graphviz DOT.
+type DOTOptions struct {
+	// Name is the graph name; defaults to "lts".
+	Name string
+	// StateLabel produces the node label for a state; defaults to the ID.
+	StateLabel func(StateID) string
+	// StateAttrs may add extra node attributes (e.g. colour risky states).
+	StateAttrs func(StateID) map[string]string
+	// TransitionAttrs may add extra edge attributes (e.g. dotted risk
+	// transitions as in the paper's Fig. 4); the label defaults to the
+	// transition's LabelString.
+	TransitionAttrs func(Transition) map[string]string
+	// RankDir sets the layout direction; defaults to "LR".
+	RankDir string
+}
+
+// DOT renders the LTS using the given options.
+func (l *LTS) DOT(opts DOTOptions) string {
+	name := opts.Name
+	if name == "" {
+		name = "lts"
+	}
+	rank := opts.RankDir
+	if rank == "" {
+		rank = "LR"
+	}
+	g := dot.NewGraph(name)
+	g.SetGraphAttr("rankdir", rank)
+	g.SetNodeDefault("shape", "circle")
+	g.SetNodeDefault("fontname", "Helvetica")
+	g.SetEdgeDefault("fontname", "Helvetica")
+
+	for _, id := range l.order {
+		attrs := map[string]string{}
+		label := string(id)
+		if opts.StateLabel != nil {
+			label = opts.StateLabel(id)
+		}
+		attrs["label"] = label
+		if l.hasInitial && id == l.initial {
+			attrs["penwidth"] = "2"
+		}
+		if opts.StateAttrs != nil {
+			for k, v := range opts.StateAttrs(id) {
+				attrs[k] = v
+			}
+		}
+		g.AddNode(string(id), attrs)
+	}
+	for _, t := range l.transitions {
+		attrs := map[string]string{}
+		if t.Label != nil {
+			attrs["label"] = t.Label.LabelString()
+		}
+		if opts.TransitionAttrs != nil {
+			for k, v := range opts.TransitionAttrs(t) {
+				attrs[k] = v
+			}
+		}
+		g.AddEdge(string(t.From), string(t.To), attrs)
+	}
+	return g.Render()
+}
+
+// jsonDoc is the JSON serialisation of an LTS. Labels are flattened to their
+// string form; systems that need richer labels should serialise at their own
+// layer (package core does).
+type jsonDoc struct {
+	Initial     string            `json:"initial,omitempty"`
+	States      []jsonState       `json:"states"`
+	Transitions []jsonTransition  `json:"transitions"`
+	Stats       map[string]int    `json:"stats,omitempty"`
+	Extra       map[string]string `json:"extra,omitempty"`
+}
+
+type jsonState struct {
+	ID    string            `json:"id"`
+	Props map[string]string `json:"props,omitempty"`
+}
+
+type jsonTransition struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Label string `json:"label,omitempty"`
+}
+
+// MarshalJSON serialises the LTS structure (states, transitions, label
+// strings). The concrete Label types are not preserved.
+func (l *LTS) MarshalJSON() ([]byte, error) {
+	doc := jsonDoc{}
+	if l.hasInitial {
+		doc.Initial = string(l.initial)
+	}
+	for _, id := range l.order {
+		s := l.states[id]
+		doc.States = append(doc.States, jsonState{ID: string(id), Props: s.Props})
+	}
+	for _, t := range l.transitions {
+		jt := jsonTransition{From: string(t.From), To: string(t.To)}
+		if t.Label != nil {
+			jt.Label = t.Label.LabelString()
+		}
+		doc.Transitions = append(doc.Transitions, jt)
+	}
+	if st, err := l.Stats(); err == nil {
+		doc.Stats = map[string]int{
+			"states":      st.States,
+			"transitions": st.Transitions,
+			"terminal":    st.Terminal,
+			"depth":       st.Depth,
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON rebuilds an LTS from the JSON produced by MarshalJSON.
+// Transition labels become StringLabel values.
+func (l *LTS) UnmarshalJSON(data []byte) error {
+	var doc jsonDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("lts: parsing LTS document: %w", err)
+	}
+	*l = *New()
+	for _, s := range doc.States {
+		l.AddState(StateID(s.ID), s.Props)
+	}
+	for _, t := range doc.Transitions {
+		l.AddTransition(StateID(t.From), StateID(t.To), StringLabel(t.Label))
+	}
+	if doc.Initial != "" {
+		l.SetInitial(StateID(doc.Initial))
+	}
+	return nil
+}
+
+// LabelHistogram counts transitions per label string, sorted by label. It is
+// used in reports to summarise which actions dominate a model.
+func (l *LTS) LabelHistogram() []LabelCount {
+	counts := make(map[string]int)
+	for _, t := range l.transitions {
+		label := ""
+		if t.Label != nil {
+			label = t.Label.LabelString()
+		}
+		counts[label]++
+	}
+	out := make([]LabelCount, 0, len(counts))
+	for label, n := range counts {
+		out = append(out, LabelCount{Label: label, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// LabelCount is one entry of LabelHistogram.
+type LabelCount struct {
+	Label string
+	Count int
+}

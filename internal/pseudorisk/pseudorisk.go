@@ -1,0 +1,195 @@
+// Package pseudorisk implements the paper's pseudonymisation (value) risk
+// analysis (Section III-B) and its integration with the generated privacy
+// LTS.
+//
+// The risk being modelled: an actor who may only access the pseudonymised
+// form of a sensitive field f can still, with the help of the
+// quasi-identifying fields they have already read, pin the true value of f
+// for an individual with high confidence — k-anonymisation prevents
+// re-identification of records but not of values. For every state of the LTS
+// in which the actor has accessed f_anon, a "risk transition" is produced
+// whose score is computed from the dataset: the records are divided into
+// sets that look identical on the fields already read, and
+// risk(r, f) = frequency(f) / size(s) is the marginal probability of the
+// record's true value within its set.
+//
+// Violations are counted against a Policy such as "the researcher must not
+// be able to predict an individual's weight to within 5 kg with at least
+// 90 % confidence" (case study IV-B, Table I and Fig. 4).
+package pseudorisk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"privascope/internal/anonymize"
+)
+
+// Policy is the violation policy the analysis checks value risks against.
+type Policy struct {
+	// TargetField is the sensitive field f whose value must not be
+	// inferable, e.g. "weight".
+	TargetField string `json:"target_field"`
+	// Closeness is the range within which a prediction counts as correct
+	// (5 kg in the paper's example).
+	Closeness float64 `json:"closeness"`
+	// Confidence is the probability threshold at or above which a record
+	// counts as violated (0.9 in the paper's example).
+	Confidence float64 `json:"confidence"`
+	// Description documents the policy for reports.
+	Description string `json:"description,omitempty"`
+}
+
+// Validate checks the policy's fields.
+func (p Policy) Validate() error {
+	if strings.TrimSpace(p.TargetField) == "" {
+		return errors.New("pseudorisk: policy target field must not be empty")
+	}
+	if p.Closeness < 0 {
+		return errors.New("pseudorisk: policy closeness must not be negative")
+	}
+	if p.Confidence <= 0 || p.Confidence > 1 {
+		return errors.New("pseudorisk: policy confidence must be in (0, 1]")
+	}
+	return nil
+}
+
+// ScenarioResult is the outcome of evaluating the policy for one set of
+// visible (already read) fields — one column group of the paper's Table I.
+type ScenarioResult struct {
+	// VisibleFields are the dataset columns the adversary can see, sorted.
+	VisibleFields []string
+	// Risks holds the per-record value risks.
+	Risks []anonymize.ValueRisk
+	// Violations is the number of records whose risk meets the policy's
+	// confidence threshold.
+	Violations int
+	// ViolationFraction is Violations divided by the number of records.
+	ViolationFraction float64
+	// MaxRisk is the highest per-record probability.
+	MaxRisk float64
+}
+
+// Fractions returns the per-record risks as exact fractions, in row order —
+// the entries of Table I.
+func (s ScenarioResult) Fractions() []anonymize.Fraction {
+	out := make([]anonymize.Fraction, len(s.Risks))
+	for i, r := range s.Risks {
+		out[i] = r.Fraction()
+	}
+	return out
+}
+
+// Key returns a canonical identifier for the visible-field set.
+func (s ScenarioResult) Key() string { return strings.Join(s.VisibleFields, "+") }
+
+// Evaluator computes scenario results for a fixed dataset and policy.
+type Evaluator struct {
+	table  *anonymize.Table
+	policy Policy
+}
+
+// NewEvaluator builds an evaluator after validating the policy against the
+// dataset.
+func NewEvaluator(table *anonymize.Table, policy Policy) (*Evaluator, error) {
+	if table == nil {
+		return nil, errors.New("pseudorisk: table must not be nil")
+	}
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := table.ColumnIndex(policy.TargetField); !ok {
+		return nil, fmt.Errorf("pseudorisk: dataset has no column %q for the policy target", policy.TargetField)
+	}
+	return &Evaluator{table: table, policy: policy}, nil
+}
+
+// Table returns the dataset the evaluator works on.
+func (e *Evaluator) Table() *anonymize.Table { return e.table }
+
+// Policy returns the evaluator's policy.
+func (e *Evaluator) Policy() Policy { return e.policy }
+
+// Evaluate computes the scenario result for the given visible columns.
+// Columns that do not exist in the dataset are ignored (they cannot help the
+// adversary), and the target column is never treated as a visible
+// quasi-identifier.
+func (e *Evaluator) Evaluate(visibleFields []string) (ScenarioResult, error) {
+	var visible []string
+	for _, f := range visibleFields {
+		if f == e.policy.TargetField {
+			continue
+		}
+		if _, ok := e.table.ColumnIndex(f); ok {
+			visible = append(visible, f)
+		}
+	}
+	sort.Strings(visible)
+	risks, err := anonymize.ValueRisks(e.table, anonymize.ValueRiskOptions{
+		VisibleColumns: visible,
+		TargetColumn:   e.policy.TargetField,
+		Closeness:      e.policy.Closeness,
+	})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	result := ScenarioResult{
+		VisibleFields: visible,
+		Risks:         risks,
+		Violations:    anonymize.CountViolations(risks, e.policy.Confidence),
+		MaxRisk:       anonymize.MaxRisk(risks),
+	}
+	if n := e.table.NumRows(); n > 0 {
+		result.ViolationFraction = float64(result.Violations) / float64(n)
+	}
+	return result, nil
+}
+
+// EvaluateProgression evaluates the policy for a sequence of visible-field
+// sets — typically increasing, as in Table I where the researcher first sees
+// height, then age, then both.
+func (e *Evaluator) EvaluateProgression(fieldSets [][]string) ([]ScenarioResult, error) {
+	out := make([]ScenarioResult, 0, len(fieldSets))
+	for _, fields := range fieldSets {
+		r, err := e.Evaluate(fields)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ErrThresholdExceeded is returned by CheckThreshold when a scenario's
+// violation fraction exceeds the configured maximum. "At the design phase, a
+// system designer could declare that a number of violations above 50% is
+// unacceptable. The system would now throw an error if the above data was
+// used."
+var ErrThresholdExceeded = errors.New("pseudorisk: violation threshold exceeded")
+
+// CheckThreshold returns an error wrapping ErrThresholdExceeded when any of
+// the scenario results has a violation fraction strictly greater than
+// maxViolationFraction.
+func CheckThreshold(results []ScenarioResult, maxViolationFraction float64) error {
+	var offending []string
+	for _, r := range results {
+		if r.ViolationFraction > maxViolationFraction {
+			offending = append(offending, fmt.Sprintf("%s: %d violations (%.0f%%)",
+				scenarioName(r), r.Violations, r.ViolationFraction*100))
+		}
+	}
+	if len(offending) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %s (limit %.0f%%); choose another pseudonymisation (e.g. larger k or l-diversity)",
+		ErrThresholdExceeded, strings.Join(offending, "; "), maxViolationFraction*100)
+}
+
+func scenarioName(r ScenarioResult) string {
+	if len(r.VisibleFields) == 0 {
+		return "no visible fields"
+	}
+	return strings.Join(r.VisibleFields, "+")
+}

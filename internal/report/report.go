@@ -1,0 +1,168 @@
+// Package report renders analysis results as plain-text and Markdown
+// documents: model summaries, unwanted-disclosure assessments, the
+// pseudonymisation-risk table of the paper's Table I, and policy-compliance
+// reports. The CLI tools and examples print these; EXPERIMENTS.md embeds
+// them.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned table builder.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: append([]string(nil), headers...)}
+}
+
+// AddRow appends a row; short rows are padded with empty cells and long rows
+// are truncated to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render produces an aligned plain-text rendering with a separator line under
+// the header.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// RenderMarkdown produces a GitHub-flavoured Markdown table.
+func (t *Table) RenderMarkdown() string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(t.headers, " | ") + " |\n")
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.rows {
+		escaped := make([]string, len(row))
+		for i, c := range row {
+			escaped[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		b.WriteString("| " + strings.Join(escaped, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// Section is one titled block of a report: free text, a table, or both.
+type Section struct {
+	Title string
+	Body  string
+	Table *Table
+}
+
+// Report is a titled sequence of sections.
+type Report struct {
+	Title    string
+	sections []Section
+}
+
+// NewReport creates an empty report with the given title.
+func NewReport(title string) *Report { return &Report{Title: title} }
+
+// AddSection appends a text section.
+func (r *Report) AddSection(title, body string) *Report {
+	r.sections = append(r.sections, Section{Title: title, Body: body})
+	return r
+}
+
+// AddTable appends a table section with optional introductory text.
+func (r *Report) AddTable(title, body string, table *Table) *Report {
+	r.sections = append(r.sections, Section{Title: title, Body: body, Table: table})
+	return r
+}
+
+// Sections returns a copy of the report's sections.
+func (r *Report) Sections() []Section { return append([]Section(nil), r.sections...) }
+
+// Render produces the plain-text document.
+func (r *Report) Render() string {
+	var b strings.Builder
+	if r.Title != "" {
+		b.WriteString(r.Title + "\n")
+		b.WriteString(strings.Repeat("=", len(r.Title)) + "\n\n")
+	}
+	for _, s := range r.sections {
+		if s.Title != "" {
+			b.WriteString(s.Title + "\n")
+			b.WriteString(strings.Repeat("-", len(s.Title)) + "\n")
+		}
+		if s.Body != "" {
+			b.WriteString(s.Body + "\n")
+		}
+		if s.Table != nil {
+			b.WriteString(s.Table.Render())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderMarkdown produces the Markdown document.
+func (r *Report) RenderMarkdown() string {
+	var b strings.Builder
+	if r.Title != "" {
+		fmt.Fprintf(&b, "# %s\n\n", r.Title)
+	}
+	for _, s := range r.sections {
+		if s.Title != "" {
+			fmt.Fprintf(&b, "## %s\n\n", s.Title)
+		}
+		if s.Body != "" {
+			b.WriteString(s.Body + "\n\n")
+		}
+		if s.Table != nil {
+			b.WriteString(s.Table.RenderMarkdown())
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,417 @@
+package risk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"privascope/internal/core"
+	"privascope/internal/lts"
+)
+
+// Finding is one assessed disclosure event: a transition of the privacy LTS
+// through which a non-allowed actor identifies (or becomes able to identify)
+// personal data the user is sensitive about.
+type Finding struct {
+	// Transition is the LTS transition the finding refers to.
+	Transition lts.Transition
+	// Action, Datastore and Fields are copied from the transition label for
+	// convenience.
+	Action    core.Action
+	Datastore string
+	Fields    []string
+	// Actor is the non-allowed actor put in a position to identify (or who
+	// identifies) the sensitive data. The paper attaches the risk to the
+	// disclosure event affecting this actor.
+	Actor string
+	// PerformedBy is the actor performing the transition; for potential
+	// reads it equals Actor, for declared flows it may be an allowed actor
+	// whose action exposes data to Actor (for example a doctor writing the
+	// diagnosis into a store the administrator may read).
+	PerformedBy string
+	// Potential marks findings on policy-permitted reads that no declared
+	// flow performs.
+	Potential bool
+	// Service is the (non-consented) service the transition belongs to, if
+	// any.
+	Service string
+	// DrivingField is the field whose sensitivity determines the impact.
+	DrivingField string
+	// Impact is the maximum sensitivity change the transition causes.
+	Impact      float64
+	ImpactLevel Level
+	// Likelihood is the summed probability of the scenarios under which the
+	// event occurs; zero for events within consented services.
+	Likelihood      float64
+	LikelihoodLevel Level
+	// Scenarios lists the scenario names contributing to the likelihood.
+	Scenarios []string
+	// Risk is the combined risk level from the matrix.
+	Risk Level
+	// Explanation is a human-readable account of the finding.
+	Explanation string
+	// Mitigation is a suggested change that would remove or reduce the risk.
+	Mitigation string
+}
+
+// Assessment is the result of analysing one user profile against a privacy
+// LTS.
+type Assessment struct {
+	// Profile is the analysed user profile.
+	Profile UserProfile
+	// AllowedActors took part in at least one consented service.
+	AllowedActors []string
+	// NonAllowedActors are every other actor of the model.
+	NonAllowedActors []string
+	// Findings are the assessed disclosure events, sorted by decreasing risk
+	// then impact.
+	Findings []Finding
+	// OverallRisk is the maximum risk across findings (LevelNone if there
+	// are none).
+	OverallRisk Level
+}
+
+// FindingsFor returns the findings involving the given actor.
+func (a *Assessment) FindingsFor(actor string) []Finding {
+	var out []Finding
+	for _, f := range a.Findings {
+		if f.Actor == actor {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FindingsAtLeast returns the findings whose risk is at least the given
+// level.
+func (a *Assessment) FindingsAtLeast(level Level) []Finding {
+	var out []Finding
+	for _, f := range a.Findings {
+		if f.Risk >= level {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// MaxRiskFor returns the highest risk among findings involving the actor.
+func (a *Assessment) MaxRiskFor(actor string) Level {
+	max := LevelNone
+	for _, f := range a.FindingsFor(actor) {
+		if f.Risk > max {
+			max = f.Risk
+		}
+	}
+	return max
+}
+
+// Analyzer performs unwanted-disclosure risk analysis. It never mutates the
+// privacy LTS it analyses, so one generated model can be assessed against
+// many user profiles.
+type Analyzer struct {
+	cfg Config
+}
+
+// NewAnalyzer returns an analyzer with the given configuration; zero-value
+// fields select the defaults.
+func NewAnalyzer(cfg Config) (*Analyzer, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Matrix.Validate(); err != nil {
+		return nil, err
+	}
+	for _, s := range cfg.Scenarios {
+		if s.Probability < 0 || s.Probability > 1 {
+			return nil, fmt.Errorf("risk: scenario %q probability %v outside [0,1]", s.Name, s.Probability)
+		}
+	}
+	return &Analyzer{cfg: cfg}, nil
+}
+
+// MustAnalyzer is like NewAnalyzer but panics on error; for fixtures.
+func MustAnalyzer(cfg Config) *Analyzer {
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Analyze assesses the user profile against the privacy LTS.
+func (a *Analyzer) Analyze(p *core.PrivacyLTS, profile UserProfile) (*Assessment, error) {
+	if p == nil {
+		return nil, errors.New("risk: privacy LTS must not be nil")
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	for _, svc := range profile.ConsentedServices {
+		if _, ok := p.Model.Service(svc); !ok {
+			return nil, fmt.Errorf("risk: profile consents to unknown service %q", svc)
+		}
+	}
+
+	allowed := p.Model.ServiceActors(profile.ConsentedServices...)
+	allowedSet := make(map[string]bool, len(allowed))
+	for _, actor := range allowed {
+		allowedSet[actor] = true
+	}
+	var nonAllowed []string
+	for _, actor := range p.Model.ActorIDs() {
+		if !allowedSet[actor] {
+			nonAllowed = append(nonAllowed, actor)
+		}
+	}
+	sort.Strings(nonAllowed)
+
+	assessment := &Assessment{
+		Profile:          profile,
+		AllowedActors:    allowed,
+		NonAllowedActors: nonAllowed,
+		OverallRisk:      LevelNone,
+	}
+
+	sigma := func(field, actor string) float64 {
+		if allowedSet[actor] {
+			return 0
+		}
+		return profile.Sensitivity(field)
+	}
+
+	for _, tr := range p.Graph.Transitions() {
+		label := core.LabelOf(tr)
+		if label == nil {
+			continue
+		}
+		findings := a.assessTransition(p, profile, tr, label, sigma, allowedSet)
+		for _, finding := range findings {
+			assessment.Findings = append(assessment.Findings, finding)
+			if finding.Risk > assessment.OverallRisk {
+				assessment.OverallRisk = finding.Risk
+			}
+		}
+	}
+
+	sort.SliceStable(assessment.Findings, func(i, j int) bool {
+		fi, fj := assessment.Findings[i], assessment.Findings[j]
+		if fi.Risk != fj.Risk {
+			return fi.Risk > fj.Risk
+		}
+		if fi.Impact != fj.Impact {
+			return fi.Impact > fj.Impact
+		}
+		return fi.Actor < fj.Actor
+	})
+	return assessment, nil
+}
+
+// assessTransition computes impact, likelihood and risk for one transition.
+// A separate finding is produced for every non-allowed actor the transition
+// puts in a position to identify sensitive data.
+func (a *Analyzer) assessTransition(p *core.PrivacyLTS, profile UserProfile, tr lts.Transition,
+	label *core.TransitionLabel, sigma func(field, actor string) float64, allowedSet map[string]bool) []Finding {
+
+	// Impact per non-allowed actor: the maximum sensitivity among the state
+	// variables the transition newly sets for that actor, measured with
+	// σ(d, a) so variables of allowed actors contribute nothing. The change
+	// is measured relative to the source state; because variables only
+	// accumulate along paths from the absolute privacy state, this equals the
+	// paper's "change relative to the absolute privacy state" for the
+	// variables this transition introduces.
+	type exposure struct {
+		impact float64
+		// driving is the field whose sensitivity determines the impact.
+		driving string
+		// identified is true when the transition sets a "has identified"
+		// variable for the actor, i.e. the actor actually receives the data
+		// through this transition rather than merely becoming able to read
+		// it later.
+		identified bool
+	}
+	exposures := make(map[string]exposure)
+	for _, v := range p.ChangeOf(tr) {
+		s := sigma(v.Field, v.Actor)
+		if s <= 0 {
+			continue
+		}
+		cur := exposures[v.Actor]
+		if s > cur.impact {
+			cur.impact = s
+			cur.driving = v.Field
+		}
+		if v.Kind == core.HasIdentified {
+			cur.identified = true
+		}
+		exposures[v.Actor] = cur
+	}
+	if len(exposures) == 0 {
+		return nil
+	}
+	actors := make([]string, 0, len(exposures))
+	for actor := range exposures {
+		actors = append(actors, actor)
+	}
+	sort.Strings(actors)
+
+	// Likelihood: which scenarios can make the disclosure to this actor
+	// happen?
+	consented := label.Service != "" && profile.Consented(label.Service)
+	var findings []Finding
+	for _, actor := range actors {
+		exp := exposures[actor]
+		likelihood := 0.0
+		var scenarioNames []string
+		switch {
+		case !label.Potential && exp.identified && !consented:
+			// The actor actually receives the data through a declared flow of
+			// a service the user did not consent to: the
+			// non-consented-service scenario applies.
+			for _, s := range a.cfg.Scenarios {
+				if s.AppliesToService {
+					likelihood += s.Probability
+					scenarioNames = append(scenarioNames, s.Name)
+				}
+			}
+		default:
+			// Either a policy-permitted read outside any declared flow
+			// (potential read) or a flow that merely makes the data readable
+			// by a non-allowed actor: the actual disclosure happens through
+			// the accidental-access or maintenance-exposure scenarios.
+			for _, s := range a.cfg.Scenarios {
+				if s.AppliesToService {
+					continue
+				}
+				likelihood += s.Probability
+				scenarioNames = append(scenarioNames, s.Name)
+			}
+		}
+		if likelihood > 1 {
+			likelihood = 1
+		}
+
+		impactLevel := a.cfg.Matrix.ImpactLevel(exp.impact)
+		likelihoodLevel := a.cfg.Matrix.LikelihoodLevel(likelihood)
+		riskLevel := a.cfg.Matrix.Risk(impactLevel, likelihoodLevel)
+
+		finding := Finding{
+			Transition:      tr,
+			Action:          label.Action,
+			Actor:           actor,
+			PerformedBy:     label.Actor,
+			Datastore:       label.Datastore,
+			Fields:          label.FieldSet(),
+			Potential:       label.Potential,
+			Service:         label.Service,
+			DrivingField:    exp.driving,
+			Impact:          exp.impact,
+			ImpactLevel:     impactLevel,
+			Likelihood:      likelihood,
+			LikelihoodLevel: likelihoodLevel,
+			Scenarios:       scenarioNames,
+			Risk:            riskLevel,
+		}
+		finding.Explanation = a.explain(finding)
+		finding.Mitigation = a.suggestMitigation(finding, allowedSet)
+		findings = append(findings, finding)
+	}
+	return findings
+}
+
+func (a *Analyzer) explain(f Finding) string {
+	var b strings.Builder
+	switch {
+	case f.Potential:
+		fmt.Fprintf(&b, "non-allowed actor %q may %s %s from datastore %q although no declared flow requires it",
+			f.Actor, f.Action, strings.Join(f.Fields, ", "), f.Datastore)
+	case f.Actor == f.PerformedBy && f.Service != "":
+		fmt.Fprintf(&b, "flow of non-consented service %q lets actor %q %s %s",
+			f.Service, f.Actor, f.Action, strings.Join(f.Fields, ", "))
+	case f.Service != "":
+		fmt.Fprintf(&b, "%s by %q in service %q exposes %s to non-allowed actor %q",
+			f.Action, f.PerformedBy, f.Service, strings.Join(f.Fields, ", "), f.Actor)
+	default:
+		fmt.Fprintf(&b, "%s by %q exposes %s to non-allowed actor %q",
+			f.Action, f.PerformedBy, strings.Join(f.Fields, ", "), f.Actor)
+	}
+	fmt.Fprintf(&b, "; most sensitive field %q (impact %.2f/%s, likelihood %.2f/%s) => risk %s",
+		f.DrivingField, f.Impact, f.ImpactLevel, f.Likelihood, f.LikelihoodLevel, f.Risk)
+	return b.String()
+}
+
+func (a *Analyzer) suggestMitigation(f Finding, allowedSet map[string]bool) string {
+	if allowedSet[f.Actor] {
+		return fmt.Sprintf("review whether field %q needs to be visible to %q at all", f.DrivingField, f.Actor)
+	}
+	if f.Datastore != "" {
+		return fmt.Sprintf("remove or restrict %q's read access to %s.%s (e.g. accesscontrol.ACL.Restrict), or pseudonymise the field before storage",
+			f.Actor, f.Datastore, f.DrivingField)
+	}
+	return fmt.Sprintf("remove actor %q from the service or reduce the fields disclosed to it", f.Actor)
+}
+
+// Change describes how the assessed risk for one (actor, datastore, field)
+// disclosure event moved between two assessments, e.g. before and after an
+// access-policy change (case study IV-A).
+type Change struct {
+	Actor     string
+	Datastore string
+	Field     string
+	Before    Level
+	After     Level
+}
+
+// String renders the change, e.g.
+// "administrator on ehr.diagnosis: medium -> low".
+func (c Change) String() string {
+	return fmt.Sprintf("%s on %s.%s: %s -> %s", c.Actor, c.Datastore, c.Field, c.Before, c.After)
+}
+
+// Compare reports, per (actor, datastore, driving field), the highest risk
+// level before and after, for the events present in either assessment.
+func Compare(before, after *Assessment) []Change {
+	type key struct{ actor, store, field string }
+	maxOf := func(a *Assessment) map[key]Level {
+		m := make(map[key]Level)
+		if a == nil {
+			return m
+		}
+		for _, f := range a.Findings {
+			k := key{f.Actor, f.Datastore, f.DrivingField}
+			if f.Risk > m[k] {
+				m[k] = f.Risk
+			}
+		}
+		return m
+	}
+	b := maxOf(before)
+	aft := maxOf(after)
+	keys := make(map[key]bool)
+	for k := range b {
+		keys[k] = true
+	}
+	for k := range aft {
+		keys[k] = true
+	}
+	var out []Change
+	for k := range keys {
+		beforeLevel, afterLevel := b[k], aft[k]
+		if beforeLevel == 0 {
+			beforeLevel = LevelNone
+		}
+		if afterLevel == 0 {
+			afterLevel = LevelNone
+		}
+		out = append(out, Change{Actor: k.actor, Datastore: k.store, Field: k.field,
+			Before: beforeLevel, After: afterLevel})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Actor != out[j].Actor {
+			return out[i].Actor < out[j].Actor
+		}
+		if out[i].Datastore != out[j].Datastore {
+			return out[i].Datastore < out[j].Datastore
+		}
+		return out[i].Field < out[j].Field
+	})
+	return out
+}

@@ -1,0 +1,104 @@
+package risk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"privascope/internal/core"
+)
+
+// The risk analysis "takes the user privacy control requirements and
+// annotates the model with their risk; hence there is an instance for each
+// user. The process can be executed with running users of the system, or
+// with simulated users in the development phase." (Section III). This file
+// provides the per-population aggregation used at design time: every profile
+// is assessed against one generated model and the results are summarised.
+
+// UserRisk is the per-user entry of a population analysis.
+type UserRisk struct {
+	// UserID identifies the profile.
+	UserID string
+	// OverallRisk is the user's maximum finding risk.
+	OverallRisk Level
+	// Findings is the number of findings for the user.
+	Findings int
+	// HighestImpactField is the field driving the user's highest-risk
+	// finding, if any.
+	HighestImpactField string
+	// WorstActor is the non-allowed actor responsible for the user's
+	// highest-risk finding, if any.
+	WorstActor string
+}
+
+// PopulationAssessment aggregates the assessments of many user profiles
+// against one privacy model.
+type PopulationAssessment struct {
+	// Users holds one entry per analysed profile, in input order.
+	Users []UserRisk
+	// Distribution counts users per overall risk level.
+	Distribution map[Level]int
+	// UsersAtRisk is the number of users whose overall risk is at least
+	// medium.
+	UsersAtRisk int
+	// WorstActors counts, per actor, how many users' highest-risk finding it
+	// is responsible for. It points designers at the access rights whose
+	// mitigation pays off most.
+	WorstActors map[string]int
+}
+
+// WorstActorsRanked returns the actors of WorstActors ordered by how many
+// users they put at risk, ties broken alphabetically.
+func (p *PopulationAssessment) WorstActorsRanked() []string {
+	actors := make([]string, 0, len(p.WorstActors))
+	for actor := range p.WorstActors {
+		actors = append(actors, actor)
+	}
+	sort.Slice(actors, func(i, j int) bool {
+		if p.WorstActors[actors[i]] != p.WorstActors[actors[j]] {
+			return p.WorstActors[actors[i]] > p.WorstActors[actors[j]]
+		}
+		return actors[i] < actors[j]
+	})
+	return actors
+}
+
+// AnalyzePopulation assesses every profile against the privacy model and
+// aggregates the results. Profiles are analysed independently; an error in
+// any profile aborts the analysis so partial results are never mistaken for
+// complete ones.
+func (a *Analyzer) AnalyzePopulation(p *core.PrivacyLTS, profiles []UserProfile) (*PopulationAssessment, error) {
+	if p == nil {
+		return nil, errors.New("risk: privacy LTS must not be nil")
+	}
+	if len(profiles) == 0 {
+		return nil, errors.New("risk: population is empty")
+	}
+	out := &PopulationAssessment{
+		Distribution: make(map[Level]int),
+		WorstActors:  make(map[string]int),
+	}
+	for i, profile := range profiles {
+		assessment, err := a.Analyze(p, profile)
+		if err != nil {
+			return nil, fmt.Errorf("risk: analysing profile %d (%s): %w", i, profile.ID, err)
+		}
+		entry := UserRisk{
+			UserID:      profile.ID,
+			OverallRisk: assessment.OverallRisk,
+			Findings:    len(assessment.Findings),
+		}
+		if len(assessment.Findings) > 0 {
+			top := assessment.Findings[0] // findings are sorted by risk, then impact
+			entry.HighestImpactField = top.DrivingField
+			entry.WorstActor = top.Actor
+			out.WorstActors[top.Actor]++
+		}
+		out.Users = append(out.Users, entry)
+		out.Distribution[assessment.OverallRisk]++
+		if assessment.OverallRisk >= LevelMedium {
+			out.UsersAtRisk++
+		}
+	}
+	return out, nil
+}

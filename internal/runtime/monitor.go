@@ -1,0 +1,348 @@
+// Package runtime monitors the privacy risks of a running distributed data
+// service against its generated privacy model.
+//
+// The paper's stated goal is to use the models not only "to identify privacy
+// risks during the development of an online service" but "also [to] monitor
+// the privacy risks during the lifetime of the service (as the users, data,
+// and behaviour may change)". The Monitor does exactly that: it keeps, per
+// user, a cursor into the privacy LTS; every observed operation (an Event
+// from package service) advances the cursor along a matching transition, the
+// pre-computed risk assessment for that user is consulted, and an alert is
+// raised when the observed transition carries a risk at or above the alert
+// threshold or when the behaviour is not part of the model at all
+// (unmodelled behaviour — a design/implementation mismatch).
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"privascope/internal/core"
+	"privascope/internal/lts"
+	"privascope/internal/risk"
+	"privascope/internal/service"
+)
+
+// AlertKind classifies monitor alerts.
+type AlertKind int
+
+// Alert kinds. AlertRisk marks an observed transition whose assessed risk
+// meets the threshold; AlertUnmodelled marks an observed operation with no
+// matching transition in the model; AlertDenied marks an operation the
+// access-control enforcement refused at runtime.
+const (
+	AlertRisk AlertKind = iota + 1
+	AlertUnmodelled
+	AlertDenied
+)
+
+// String returns the lower-case kind name.
+func (k AlertKind) String() string {
+	switch k {
+	case AlertRisk:
+		return "risk"
+	case AlertUnmodelled:
+		return "unmodelled-behaviour"
+	case AlertDenied:
+		return "denied-operation"
+	default:
+		return fmt.Sprintf("alertkind(%d)", int(k))
+	}
+}
+
+// Alert is one notification raised by the monitor.
+type Alert struct {
+	Kind   AlertKind
+	UserID string
+	Event  service.Event
+	// Risk and Finding are set for AlertRisk alerts.
+	Risk    risk.Level
+	Finding risk.Finding
+	// Message is a human-readable summary.
+	Message string
+}
+
+// Observation is the result of feeding one event to the monitor.
+type Observation struct {
+	// Matched reports whether a transition of the model matched the event.
+	Matched bool
+	// From and To are the user's privacy state before and after the event
+	// (equal when no transition matched).
+	From, To lts.StateID
+	// Transition is the matched transition when Matched.
+	Transition lts.Transition
+	// Alerts raised by this observation, if any.
+	Alerts []Alert
+}
+
+// Monitor tracks per-user privacy state against a privacy LTS. It is safe
+// for concurrent use.
+type Monitor struct {
+	lts      *core.PrivacyLTS
+	analyzer *risk.Analyzer
+	// alertAt is the minimum risk level that raises an alert.
+	alertAt risk.Level
+
+	mu       sync.Mutex
+	cursors  map[string]lts.StateID
+	profiles map[string]risk.UserProfile
+	// findings indexes each user's assessment by transition key.
+	findings map[string]map[string]risk.Finding
+	alerts   []Alert
+}
+
+// Config configures a Monitor.
+type Config struct {
+	// Analyzer is the disclosure-risk analyzer used to assess users; the
+	// default configuration is used when nil.
+	Analyzer *risk.Analyzer
+	// AlertAt is the minimum risk level that raises an alert; defaults to
+	// Medium.
+	AlertAt risk.Level
+}
+
+// NewMonitor creates a monitor for the generated privacy LTS.
+func NewMonitor(p *core.PrivacyLTS, cfg Config) (*Monitor, error) {
+	if p == nil {
+		return nil, errors.New("runtime: privacy LTS must not be nil")
+	}
+	analyzer := cfg.Analyzer
+	if analyzer == nil {
+		var err error
+		analyzer, err = risk.NewAnalyzer(risk.Config{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	alertAt := cfg.AlertAt
+	if alertAt == 0 {
+		alertAt = risk.LevelMedium
+	}
+	return &Monitor{
+		lts:      p,
+		analyzer: analyzer,
+		alertAt:  alertAt,
+		cursors:  make(map[string]lts.StateID),
+		profiles: make(map[string]risk.UserProfile),
+		findings: make(map[string]map[string]risk.Finding),
+	}, nil
+}
+
+// RegisterUser starts tracking a user: their cursor is placed at the initial
+// (absolute privacy) state and their profile is assessed against the model so
+// observed transitions can be mapped to risk levels cheaply.
+func (m *Monitor) RegisterUser(profile risk.UserProfile) error {
+	assessment, err := m.analyzer.Analyze(m.lts, profile)
+	if err != nil {
+		return err
+	}
+	// Index findings by (transition, at-risk actor) so an observed event by
+	// that actor can be mapped to its risk level in O(1).
+	index := make(map[string]risk.Finding)
+	for _, f := range assessment.Findings {
+		key := transitionKey(f.Transition) + "\x00" + f.Actor
+		if existing, ok := index[key]; !ok || f.Risk > existing.Risk {
+			index[key] = f
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.profiles[profile.ID] = profile
+	m.cursors[profile.ID] = m.lts.InitialState()
+	m.findings[profile.ID] = index
+	return nil
+}
+
+// Users returns the IDs of registered users, sorted.
+func (m *Monitor) Users() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.profiles))
+	for id := range m.profiles {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CurrentState returns the user's current privacy state.
+func (m *Monitor) CurrentState(userID string) (lts.StateID, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.cursors[userID]
+	return id, ok
+}
+
+// CurrentVector returns the user's current privacy state vector.
+func (m *Monitor) CurrentVector(userID string) (core.StateVector, bool) {
+	id, ok := m.CurrentState(userID)
+	if !ok {
+		return core.StateVector{}, false
+	}
+	return m.lts.Vector(id)
+}
+
+// Alerts returns a copy of every alert raised so far.
+func (m *Monitor) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Alert, len(m.alerts))
+	copy(out, m.alerts)
+	return out
+}
+
+// AlertsFor returns the alerts concerning one user.
+func (m *Monitor) AlertsFor(userID string) []Alert {
+	var out []Alert
+	for _, a := range m.Alerts() {
+		if a.UserID == userID {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Observe feeds one event to the monitor and returns the resulting
+// observation. Events for unregistered users are an error; callers decide
+// whether that is fatal (tests) or just logged (live deployments).
+func (m *Monitor) Observe(ev service.Event) (Observation, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	cursor, ok := m.cursors[ev.UserID]
+	if !ok {
+		return Observation{}, fmt.Errorf("runtime: user %q is not registered with the monitor", ev.UserID)
+	}
+	obs := Observation{From: cursor, To: cursor}
+
+	if ev.Denied {
+		alert := Alert{
+			Kind:   AlertDenied,
+			UserID: ev.UserID,
+			Event:  ev,
+			Message: fmt.Sprintf("access-control denied %s by %q on %s.%v",
+				ev.Action, ev.Actor, ev.Datastore, ev.Fields),
+		}
+		m.alerts = append(m.alerts, alert)
+		obs.Alerts = append(obs.Alerts, alert)
+		return obs, nil
+	}
+
+	transition, matched := m.matchTransition(cursor, ev)
+	if !matched {
+		alert := Alert{
+			Kind:   AlertUnmodelled,
+			UserID: ev.UserID,
+			Event:  ev,
+			Message: fmt.Sprintf("observed %s of %v by %q on %q has no matching transition from state %s; the design model and the running system disagree",
+				ev.Action, ev.Fields, ev.Actor, ev.Datastore, cursor),
+		}
+		m.alerts = append(m.alerts, alert)
+		obs.Alerts = append(obs.Alerts, alert)
+		return obs, nil
+	}
+
+	m.cursors[ev.UserID] = transition.To
+	obs.Matched = true
+	obs.Transition = transition
+	obs.To = transition.To
+
+	// Alert only when the observed actor is the non-allowed actor the finding
+	// concerns: a consented-service flow that merely exposes data to someone
+	// else is design-time knowledge (already in the static assessment), while
+	// the non-allowed actor actually reading the data is a live disclosure
+	// event.
+	if finding, ok := m.findings[ev.UserID][transitionKey(transition)+"\x00"+ev.Actor]; ok &&
+		finding.Risk >= m.alertAt {
+		alert := Alert{
+			Kind:    AlertRisk,
+			UserID:  ev.UserID,
+			Event:   ev,
+			Risk:    finding.Risk,
+			Finding: finding,
+			Message: fmt.Sprintf("%s-risk disclosure event for user %q: %s", finding.Risk, ev.UserID, finding.Explanation),
+		}
+		m.alerts = append(m.alerts, alert)
+		obs.Alerts = append(obs.Alerts, alert)
+	}
+	return obs, nil
+}
+
+// matchTransition finds an outgoing transition of the cursor state matching
+// the event: same action, same actor, same datastore, and the event's fields
+// covered by the transition's fields (a read of a subset of the modelled
+// fields still matches). Declared flows are preferred over potential reads.
+func (m *Monitor) matchTransition(cursor lts.StateID, ev service.Event) (lts.Transition, bool) {
+	var potentialMatch lts.Transition
+	var havePotential bool
+	for _, tr := range m.lts.Graph.Outgoing(cursor) {
+		label := core.LabelOf(tr)
+		if label == nil {
+			continue
+		}
+		if label.Action != ev.Action || label.Actor != ev.Actor {
+			continue
+		}
+		if label.Datastore != ev.Datastore {
+			continue
+		}
+		if !fieldsCovered(label.Fields, ev.Fields) {
+			continue
+		}
+		if !label.Potential {
+			return tr, true
+		}
+		if !havePotential {
+			potentialMatch = tr
+			havePotential = true
+		}
+	}
+	return potentialMatch, havePotential
+}
+
+// fieldsCovered reports whether every observed field is part of the labelled
+// field set.
+func fieldsCovered(labelFields, eventFields []string) bool {
+	if len(eventFields) == 0 {
+		return false
+	}
+	set := make(map[string]bool, len(labelFields))
+	for _, f := range labelFields {
+		set[f] = true
+	}
+	for _, f := range eventFields {
+		if !set[f] {
+			return false
+		}
+	}
+	return true
+}
+
+// transitionKey identifies a transition for the findings index.
+func transitionKey(tr lts.Transition) string {
+	label := ""
+	if tr.Label != nil {
+		label = tr.Label.LabelString()
+	}
+	return strings.Join([]string{string(tr.From), string(tr.To), label}, "\x00")
+}
+
+// Watch consumes events from the channel until it is closed, observing each
+// one. Events for unregistered users are counted but otherwise ignored. It
+// returns the number of events observed. Run it in its own goroutine for
+// live monitoring:
+//
+//	events, cancel := cluster.Log().Subscribe(128)
+//	defer cancel()
+//	go monitor.Watch(events)
+func (m *Monitor) Watch(events <-chan service.Event) int {
+	n := 0
+	for ev := range events {
+		n++
+		_, _ = m.Observe(ev)
+	}
+	return n
+}

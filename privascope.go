@@ -1,0 +1,429 @@
+// Package privascope is a model-driven toolkit for identifying privacy risks
+// in distributed data services. It reproduces, as a reusable Go library, the
+// approach of Grace et al., "Identifying Privacy Risks in Distributed Data
+// Services: A Model-Driven Approach" (ICDCS 2018):
+//
+//  1. Developers describe their system as a purpose-driven data-flow model —
+//     actors, datastores with schemas, services made of ordered flows — plus
+//     access-control policies (ACL or RBAC).
+//  2. The toolkit automatically generates a formal model of user privacy: a
+//     Labelled Transition System whose states carry, for every (actor,
+//     field) pair, whether the actor HAS identified or COULD identify the
+//     field, and whose transitions are the paper's six actions on personal
+//     data (collect, create, read, disclose, anon, delete).
+//  3. Automated analyses run over the generated model: unwanted-disclosure
+//     risk per user profile (impact × likelihood through a risk matrix),
+//     pseudonymisation value risk against a dataset (the k-anonymity value
+//     risk of the paper's Table I / Fig. 4), and compliance of the modelled
+//     behaviour with the services' stated privacy policies.
+//  4. The same model monitors the running system: the runtime monitor maps
+//     live datastore events onto the LTS and raises alerts when risky or
+//     unmodelled behaviour is observed.
+//
+// This package is the stable public facade: it re-exports the types of the
+// internal packages under one roof and offers one-call pipelines for the
+// common workflows. The internal packages remain importable within this
+// module for fine-grained control; see the package documentation of
+// internal/core, internal/risk, internal/pseudorisk and internal/runtime.
+//
+// # Quick start
+//
+//	model := privascope.NewModelBuilder("clinic", privascope.Actor{ID: "patient", Name: "Patient"}).
+//		AddActor(privascope.Actor{ID: "doctor", Name: "Doctor"}).
+//		// ... datastores, services, flows ...
+//		Build()
+//
+//	result, err := privascope.Assess(model, profile, privascope.AssessOptions{})
+//	fmt.Println(result.Report.Render())
+//
+// See the examples directory for complete, runnable programs, including the
+// paper's two case studies.
+package privascope
+
+import (
+	"fmt"
+
+	"privascope/internal/accesscontrol"
+	"privascope/internal/anonymize"
+	"privascope/internal/core"
+	"privascope/internal/dataflow"
+	"privascope/internal/policy"
+	"privascope/internal/pseudorisk"
+	"privascope/internal/report"
+	"privascope/internal/risk"
+	"privascope/internal/runtime"
+	"privascope/internal/schema"
+	"privascope/internal/service"
+	"privascope/internal/synth"
+)
+
+// ---------------------------------------------------------------------------
+// Modelling (data-flow models, schemas, access control).
+// ---------------------------------------------------------------------------
+
+// Modelling types re-exported from the internal packages.
+type (
+	// Model is a data-flow model of a privacy-aware system.
+	Model = dataflow.Model
+	// ModelBuilder assembles a Model incrementally.
+	ModelBuilder = dataflow.Builder
+	// Actor is an individual or role type handling personal data.
+	Actor = dataflow.Actor
+	// Flow is one data-flow arrow (fields, purpose, order).
+	Flow = dataflow.Flow
+	// Service is a business process composed of ordered flows.
+	Service = dataflow.Service
+
+	// Schema describes the record layout of a datastore.
+	Schema = schema.Schema
+	// Field is one personal-data field of a schema.
+	Field = schema.Field
+	// Datastore is a persistent store of personal data.
+	Datastore = schema.Datastore
+	// FieldCategory classifies a field's identification role.
+	FieldCategory = schema.Category
+
+	// AccessPolicy is the interface implemented by ACL and RBAC policies.
+	AccessPolicy = accesscontrol.Policy
+	// ACL is an access-control-list policy.
+	ACL = accesscontrol.ACL
+	// RBAC is a role-based access-control policy.
+	RBAC = accesscontrol.RBAC
+	// Grant is a single access-control grant.
+	Grant = accesscontrol.Grant
+	// Permission is the kind of access requested on a field.
+	Permission = accesscontrol.Permission
+)
+
+// Field categories.
+const (
+	CategoryStandard        = schema.CategoryStandard
+	CategoryIdentifier      = schema.CategoryIdentifier
+	CategoryQuasiIdentifier = schema.CategoryQuasiIdentifier
+	CategorySensitive       = schema.CategorySensitive
+)
+
+// Permissions.
+const (
+	PermissionRead   = accesscontrol.PermissionRead
+	PermissionWrite  = accesscontrol.PermissionWrite
+	PermissionDelete = accesscontrol.PermissionDelete
+	// AllFields is the wildcard field name in grants.
+	AllFields = accesscontrol.AllFields
+)
+
+// NewModelBuilder starts a data-flow model for the named system and data
+// subject.
+func NewModelBuilder(name string, user Actor) *ModelBuilder {
+	return dataflow.NewBuilder(name, user)
+}
+
+// NewACL builds an access-control-list policy from grants.
+func NewACL(grants ...Grant) (*ACL, error) { return accesscontrol.NewACL(grants...) }
+
+// NewRBAC returns an empty role-based access-control policy.
+func NewRBAC() *RBAC { return accesscontrol.NewRBAC() }
+
+// LoadModel reads a model document (with its ACL) from a JSON file.
+func LoadModel(path string) (*Model, error) { return dataflow.Load(path) }
+
+// SaveModel writes a model document (with its ACL) to a JSON file.
+func SaveModel(m *Model, path string) error { return dataflow.Save(m, path) }
+
+// ---------------------------------------------------------------------------
+// Privacy-model generation (the paper's Section II-B).
+// ---------------------------------------------------------------------------
+
+// Generation types re-exported from internal/core.
+type (
+	// PrivacyModel is the generated formal model of user privacy (an LTS
+	// with privacy state vectors).
+	PrivacyModel = core.PrivacyLTS
+	// GenerateOptions configures LTS generation.
+	GenerateOptions = core.Options
+	// Action is one of the six actions on personal data.
+	Action = core.Action
+	// StateVector is the set of Boolean state variables of a privacy state.
+	StateVector = core.StateVector
+	// TransitionLabel is the label attached to every generated transition.
+	TransitionLabel = core.TransitionLabel
+)
+
+// Actions on personal data.
+const (
+	ActionCollect  = core.ActionCollect
+	ActionCreate   = core.ActionCreate
+	ActionRead     = core.ActionRead
+	ActionDisclose = core.ActionDisclose
+	ActionAnon     = core.ActionAnon
+	ActionDelete   = core.ActionDelete
+)
+
+// Flow orderings and potential-read modes for GenerateOptions.
+const (
+	OrderSequential        = core.OrderSequential
+	OrderDataDriven        = core.OrderDataDriven
+	PotentialReadsOff      = core.PotentialReadsOff
+	PotentialReadsTerminal = core.PotentialReadsTerminal
+	PotentialReadsFull     = core.PotentialReadsFull
+)
+
+// Generate builds the privacy LTS for a model with default options.
+func Generate(m *Model) (*PrivacyModel, error) { return core.Generate(m) }
+
+// GenerateWithOptions builds the privacy LTS with explicit options.
+func GenerateWithOptions(m *Model, opts GenerateOptions) (*PrivacyModel, error) {
+	return core.GenerateWithOptions(m, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Unwanted-disclosure risk analysis (Section III-A).
+// ---------------------------------------------------------------------------
+
+// Risk-analysis types re-exported from internal/risk.
+type (
+	// UserProfile captures a user's consented services and field
+	// sensitivities.
+	UserProfile = risk.UserProfile
+	// RiskLevel is a qualitative risk category (none/low/medium/high).
+	RiskLevel = risk.Level
+	// RiskMatrix buckets impact and likelihood and maps them to risk.
+	RiskMatrix = risk.Matrix
+	// RiskConfig configures the disclosure-risk analyzer.
+	RiskConfig = risk.Config
+	// RiskFinding is one assessed disclosure event.
+	RiskFinding = risk.Finding
+	// RiskAssessment is the per-user analysis result.
+	RiskAssessment = risk.Assessment
+	// RiskChange is a before/after comparison entry.
+	RiskChange = risk.Change
+)
+
+// Risk levels and canonical sensitivities.
+const (
+	RiskNone   = risk.LevelNone
+	RiskLow    = risk.LevelLow
+	RiskMedium = risk.LevelMedium
+	RiskHigh   = risk.LevelHigh
+
+	SensitivityLow    = risk.SensitivityLow
+	SensitivityMedium = risk.SensitivityMedium
+	SensitivityHigh   = risk.SensitivityHigh
+)
+
+// AnalyzeDisclosure assesses a user profile against a generated privacy
+// model using the given configuration (zero value for defaults).
+func AnalyzeDisclosure(p *PrivacyModel, profile UserProfile, cfg RiskConfig) (*RiskAssessment, error) {
+	analyzer, err := risk.NewAnalyzer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return analyzer.Analyze(p, profile)
+}
+
+// CompareAssessments reports how per-event risk levels changed between two
+// assessments (for example before and after an access-policy mitigation).
+func CompareAssessments(before, after *RiskAssessment) []RiskChange {
+	return risk.Compare(before, after)
+}
+
+// PopulationAssessment aggregates per-user assessments over a population of
+// (real or simulated) users.
+type PopulationAssessment = risk.PopulationAssessment
+
+// AnalyzeDisclosurePopulation assesses every profile against the privacy
+// model and aggregates the results ("there is an instance for each user").
+func AnalyzeDisclosurePopulation(p *PrivacyModel, profiles []UserProfile, cfg RiskConfig) (*PopulationAssessment, error) {
+	analyzer, err := risk.NewAnalyzer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return analyzer.AnalyzePopulation(p, profiles)
+}
+
+// ---------------------------------------------------------------------------
+// Pseudonymisation (value) risk analysis (Section III-B).
+// ---------------------------------------------------------------------------
+
+// Pseudonymisation-risk types re-exported from internal/pseudorisk and
+// internal/anonymize.
+type (
+	// DataTable is an in-memory record table.
+	DataTable = anonymize.Table
+	// DataColumn describes one column of a DataTable.
+	DataColumn = anonymize.Column
+	// DataValue is one table cell.
+	DataValue = anonymize.Value
+	// ViolationPolicy is the policy value risks are checked against.
+	ViolationPolicy = pseudorisk.Policy
+	// ValueRiskEvaluator evaluates value risks for one dataset and policy.
+	ValueRiskEvaluator = pseudorisk.Evaluator
+	// ValueRiskScenario is the outcome for one visible-field set.
+	ValueRiskScenario = pseudorisk.ScenarioResult
+	// PseudonymisationAnnotation layers value risk onto a privacy model.
+	PseudonymisationAnnotation = pseudorisk.Annotation
+	// PseudonymisationOptions configures AnalyzePseudonymisation.
+	PseudonymisationOptions = pseudorisk.Options
+)
+
+// NewValueRiskEvaluator builds an evaluator for a dataset and policy.
+func NewValueRiskEvaluator(table *DataTable, p ViolationPolicy) (*ValueRiskEvaluator, error) {
+	return pseudorisk.NewEvaluator(table, p)
+}
+
+// AnalyzePseudonymisation layers dataset-driven value risks onto a privacy
+// model for one actor (the paper's Fig. 4).
+func AnalyzePseudonymisation(p *PrivacyModel, opts PseudonymisationOptions) (*PseudonymisationAnnotation, error) {
+	return pseudorisk.AnalyzeLTS(p, opts)
+}
+
+// KAnonymize produces a k-anonymous version of a table by generalisation and
+// suppression of the given quasi-identifiers.
+func KAnonymize(t *DataTable, quasiIdentifiers []string, k int) (*DataTable, anonymize.KAnonymizeResult, error) {
+	return anonymize.KAnonymize(t, quasiIdentifiers, k, anonymize.KAnonymizeOptions{})
+}
+
+// ReidentReport summarises the re-identification risk of a dataset under the
+// prosecutor/journalist/marketer attacker models.
+type ReidentReport = anonymize.ReidentReport
+
+// ReidentificationRisk computes per-record re-identification risks for the
+// dataset given the quasi-identifiers the adversary is assumed to know.
+// Records whose risk is at least threshold are counted as at-risk.
+func ReidentificationRisk(t *DataTable, quasiIdentifiers []string, threshold float64) (ReidentReport, error) {
+	return anonymize.ReidentificationRisk(t, quasiIdentifiers, threshold)
+}
+
+// ---------------------------------------------------------------------------
+// Policy compliance, runtime monitoring, reporting, synthetic inputs.
+// ---------------------------------------------------------------------------
+
+// Remaining re-exports.
+type (
+	// ServicePolicy is the stated privacy policy of one service.
+	ServicePolicy = policy.ServicePolicy
+	// PolicyStatement is one clause of a service policy.
+	PolicyStatement = policy.Statement
+	// ComplianceReport is the result of checking an LTS against policies.
+	ComplianceReport = policy.ComplianceReport
+
+	// Event is one operation on personal data observed in the running
+	// system.
+	Event = service.Event
+	// EventLog is an append-only log of events with subscriptions.
+	EventLog = service.Log
+	// Cluster runs one HTTP datastore server per datastore of a model.
+	Cluster = service.Cluster
+	// DatastoreClient is a typed HTTP client bound to one actor.
+	DatastoreClient = service.Client
+
+	// Monitor tracks per-user privacy state against a privacy model.
+	Monitor = runtime.Monitor
+	// MonitorConfig configures a Monitor.
+	MonitorConfig = runtime.Config
+	// Alert is a notification raised by the monitor.
+	Alert = runtime.Alert
+
+	// Report is a renderable analysis report.
+	Report = report.Report
+)
+
+// CheckCompliance verifies the modelled behaviour against the stated service
+// policies.
+func CheckCompliance(p *PrivacyModel, policies ...ServicePolicy) (*ComplianceReport, error) {
+	set, err := policy.NewPolicySet(policies...)
+	if err != nil {
+		return nil, err
+	}
+	return policy.NewChecker(set).Check(p)
+}
+
+// DerivePolicy derives a service policy that exactly covers the declared
+// flows of the service, as a reviewable starting point.
+func DerivePolicy(p *PrivacyModel, serviceID string) ServicePolicy {
+	return policy.PolicyFromModelFlows(p, serviceID)
+}
+
+// NewMonitor creates a runtime privacy monitor for a generated model.
+func NewMonitor(p *PrivacyModel, cfg MonitorConfig) (*Monitor, error) {
+	return runtime.NewMonitor(p, cfg)
+}
+
+// StartCluster starts one HTTP datastore server per datastore of the model on
+// local ports, sharing a single event log.
+func StartCluster(m *Model) (*Cluster, error) { return service.StartCluster(m) }
+
+// SyntheticModel generates a synthetic data-flow model of the given size, for
+// experimentation and benchmarking.
+func SyntheticModel(spec synth.ModelSpec) *Model { return synth.Model(spec) }
+
+// SyntheticPopulation generates user profiles for a model.
+func SyntheticPopulation(m *Model, opts synth.PopulationOptions) []UserProfile {
+	return synth.Population(m, opts)
+}
+
+// SyntheticHealthRecords generates a deterministic physical-attributes
+// dataset.
+func SyntheticHealthRecords(opts synth.HealthRecordsOptions) *DataTable {
+	return synth.HealthRecords(opts)
+}
+
+// ---------------------------------------------------------------------------
+// One-call pipelines.
+// ---------------------------------------------------------------------------
+
+// AssessOptions configures the Assess pipeline.
+type AssessOptions struct {
+	// Generate configures LTS generation; zero value for defaults.
+	Generate GenerateOptions
+	// Risk configures the disclosure-risk analyzer; zero value for defaults.
+	Risk RiskConfig
+}
+
+// AssessResult bundles the outputs of the Assess pipeline.
+type AssessResult struct {
+	// PrivacyModel is the generated LTS.
+	PrivacyModel *PrivacyModel
+	// Assessment is the per-user disclosure-risk assessment.
+	Assessment *RiskAssessment
+	// Report is a rendered report combining the model summary and the
+	// assessment.
+	Report *Report
+}
+
+// Assess runs the full design-time pipeline for one user profile: validate
+// the model, generate the privacy LTS, analyse unwanted-disclosure risk, and
+// build a report.
+func Assess(m *Model, profile UserProfile, opts AssessOptions) (*AssessResult, error) {
+	p, err := core.GenerateWithOptions(m, opts.Generate)
+	if err != nil {
+		return nil, fmt.Errorf("privascope: generating privacy model: %w", err)
+	}
+	analyzer, err := risk.NewAnalyzer(opts.Risk)
+	if err != nil {
+		return nil, err
+	}
+	assessment, err := analyzer.Analyze(p, profile)
+	if err != nil {
+		return nil, fmt.Errorf("privascope: analysing disclosure risk: %w", err)
+	}
+	combined := report.NewReport("Privacy risk assessment: " + m.Name)
+	for _, section := range report.ModelSummary(p).Sections() {
+		combined.AddTable(section.Title, section.Body, section.Table)
+	}
+	for _, section := range report.DisclosureAssessment(assessment).Sections() {
+		combined.AddTable(section.Title, section.Body, section.Table)
+	}
+	return &AssessResult{PrivacyModel: p, Assessment: assessment, Report: combined}, nil
+}
+
+// RenderAssessment renders a disclosure-risk assessment as a plain-text
+// report.
+func RenderAssessment(a *RiskAssessment) string {
+	return report.DisclosureAssessment(a).Render()
+}
+
+// RenderModelSummary renders a summary of a generated privacy model.
+func RenderModelSummary(p *PrivacyModel) string {
+	return report.ModelSummary(p).Render()
+}
