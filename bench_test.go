@@ -214,7 +214,9 @@ func BenchmarkUtilityMetrics(b *testing.B) {
 
 // BenchmarkLTSGenerationScaling sweeps the size of synthetic models (the
 // state-space growth argument of Section II-B): more services and fields mean
-// more state variables and more interleavings.
+// more state variables and more interleavings. The largest model is
+// additionally swept over worker counts, so one run shows both how the state
+// space grows and how the parallel engine absorbs it.
 func BenchmarkLTSGenerationScaling(b *testing.B) {
 	for _, services := range []int{1, 2, 3, 4} {
 		spec := synth.ModelSpec{Services: services, FieldsPerService: 3}
@@ -225,7 +227,8 @@ func BenchmarkLTSGenerationScaling(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			b.ReportMetric(float64(p.Stats().States), "states")
+			states := p.Stats().States
+			b.ReportMetric(float64(states), "states")
 			b.ReportMetric(float64(p.Stats().Transitions), "transitions")
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -234,7 +237,58 @@ func BenchmarkLTSGenerationScaling(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.StopTimer()
+			reportStatesPerSec(b, states)
 		})
+	}
+	largest := synth.Model(synth.ModelSpec{Services: 4, FieldsPerService: 3})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("services=4/workers=%d", workers), func(b *testing.B) {
+			benchGenerate(b, largest, privascope.GenerateOptions{Workers: workers})
+		})
+	}
+}
+
+// BenchmarkLTSGenerationParallel sweeps the worker count of the parallel
+// exploration engine on a large synthetic model (5 services, 15625 states).
+// On multi-core hardware the per-worker sub-benchmarks show the speedup of
+// sharded frontier expansion; the generated LTS is byte-identical across all
+// of them (see TestParallelGenerationIdenticalDigests).
+func BenchmarkLTSGenerationParallel(b *testing.B) {
+	model := synth.Model(synth.ModelSpec{Services: 5, FieldsPerService: 3})
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchGenerate(b, model, privascope.GenerateOptions{Workers: workers})
+		})
+	}
+}
+
+// benchGenerate times repeated generation of one model under fixed options
+// and reports throughput in explored states per second.
+func benchGenerate(b *testing.B, model *privascope.Model, opts privascope.GenerateOptions) {
+	b.Helper()
+	p, err := privascope.GenerateWithOptions(model, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := p.Stats().States
+	b.ReportMetric(float64(states), "states")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := privascope.GenerateWithOptions(model, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportStatesPerSec(b, states)
+}
+
+// reportStatesPerSec reports generation throughput: states explored per
+// second of wall time across all iterations.
+func reportStatesPerSec(b *testing.B, statesPerRun int) {
+	if seconds := b.Elapsed().Seconds(); seconds > 0 {
+		b.ReportMetric(float64(statesPerRun)*float64(b.N)/seconds, "states/sec")
 	}
 }
 

@@ -10,6 +10,9 @@
 //	dataflow2lts -model model.json -mode lts                 # privacy LTS DOT
 //	dataflow2lts -model model.json -mode lts-json            # privacy LTS JSON
 //	dataflow2lts -model model.json -mode stats               # model and LTS sizes
+//
+// Large models generate faster with -workers N (0, the default, uses one
+// worker per CPU); the emitted LTS is byte-identical for any worker count.
 package main
 
 import (
@@ -38,6 +41,7 @@ func run(args []string, out io.Writer) error {
 	serviceID := fs.String("service", "", "restrict the data-flow diagram to one service")
 	ordering := fs.String("ordering", "sequential", "flow ordering: sequential or data-driven")
 	verbose := fs.Bool("verbose-states", false, "list state variables inside LTS nodes")
+	workers := fs.Int("workers", 0, "parallel exploration workers (0 = one per CPU); the output is identical for any count")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,7 +53,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	opts := core.Options{}
+	opts := core.Options{Workers: *workers}
 	if *ordering == "data-driven" {
 		opts.FlowOrdering = core.OrderDataDriven
 	}

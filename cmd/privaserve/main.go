@@ -39,6 +39,7 @@ func run(args []string, out io.Writer) error {
 	modelPath := fs.String("model", "", "path to the model document (JSON)")
 	profilePath := fs.String("profile", "", "path to the monitored user's profile (JSON)")
 	duration := fs.Duration("duration", 0, "how long to serve before exiting (0 = until interrupted)")
+	workers := fs.Int("workers", 0, "parallel LTS-generation workers (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,7 +51,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	generated, err := privascope.Generate(model)
+	generated, err := privascope.GenerateWithOptions(model, privascope.GenerateOptions{Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module privascope
+
+go 1.24

@@ -3,8 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
-	"strings"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"privascope/internal/accesscontrol"
 	"privascope/internal/dataflow"
@@ -53,13 +56,21 @@ const DefaultMaxStates = 250000
 var ErrStateSpaceTooLarge = errors.New("core: state space exceeds the configured maximum; simplify the model or raise Options.MaxStates")
 
 // Options configures privacy-LTS generation. The zero value selects the
-// defaults (sequential flows, terminal potential reads, DefaultMaxStates).
+// defaults (sequential flows, terminal potential reads, DefaultMaxStates, one
+// worker per available CPU).
 type Options struct {
 	FlowOrdering   FlowOrdering
 	PotentialReads PotentialReadMode
 	// MaxStates caps the number of generated states; zero means
 	// DefaultMaxStates.
 	MaxStates int
+	// Workers is the number of goroutines expanding the BFS frontier in
+	// parallel; zero or negative means runtime.GOMAXPROCS(0). The generated
+	// LTS — state IDs, transition order, initial state — is byte-identical
+	// for every worker count: workers only expand states of one frontier
+	// generation concurrently, and their discoveries are merged
+	// deterministically in frontier order.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -72,77 +83,61 @@ func (o Options) withDefaults() Options {
 	if o.MaxStates == 0 {
 		o.MaxStates = DefaultMaxStates
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
-// explState is the exploration key of the generator: the "has" variables set
-// so far, the contents of every datastore, and each service's progress.
-type explState struct {
-	has      StateVector
-	stores   map[string]schema.FieldSet
-	progress map[string]int  // service -> index of next flow (sequential)
-	fired    map[string]bool // flow key -> executed (data-driven)
+// visitedShardCount is the number of shards of the visited set; a power of
+// two so the hash maps to a shard with a mask.
+const visitedShardCount = 64
+
+// visitedSet is the sharded map of explored state keys. Workers look
+// candidate successors up concurrently (read locks on the key's shard) to
+// decide whether to precompute per-state data; only the single-threaded merge
+// phase inserts. Sharding keeps the per-map load small and the lock windows
+// independent.
+type visitedSet struct {
+	shards [visitedShardCount]visitedShard
 }
 
-func (e explState) key(ordering FlowOrdering) string {
-	var b strings.Builder
-	b.WriteString(e.has.Key())
-	b.WriteString("|")
-	storeIDs := make([]string, 0, len(e.stores))
-	for id := range e.stores {
-		storeIDs = append(storeIDs, id)
-	}
-	sort.Strings(storeIDs)
-	for _, id := range storeIDs {
-		fs := e.stores[id]
-		if fs.IsEmpty() {
-			continue
-		}
-		b.WriteString(id)
-		b.WriteString("=")
-		b.WriteString(strings.Join(fs.Names(), ","))
-		b.WriteString(";")
-	}
-	b.WriteString("|")
-	if ordering == OrderSequential {
-		svcIDs := make([]string, 0, len(e.progress))
-		for id := range e.progress {
-			svcIDs = append(svcIDs, id)
-		}
-		sort.Strings(svcIDs)
-		for _, id := range svcIDs {
-			fmt.Fprintf(&b, "%s:%d;", id, e.progress[id])
-		}
-	} else {
-		keys := make([]string, 0, len(e.fired))
-		for k, v := range e.fired {
-			if v {
-				keys = append(keys, k)
-			}
-		}
-		sort.Strings(keys)
-		b.WriteString(strings.Join(keys, ";"))
-	}
-	return b.String()
+type visitedShard struct {
+	mu sync.RWMutex
+	m  map[string]lts.StateID
 }
 
-func (e explState) clone() explState {
-	out := explState{
-		has:      e.has.Clone(),
-		stores:   make(map[string]schema.FieldSet, len(e.stores)),
-		progress: make(map[string]int, len(e.progress)),
-		fired:    make(map[string]bool, len(e.fired)),
+func newVisitedSet() *visitedSet {
+	v := &visitedSet{}
+	for i := range v.shards {
+		v.shards[i].m = make(map[string]lts.StateID)
 	}
-	for k, v := range e.stores {
-		out.stores[k] = v
+	return v
+}
+
+// shardFor hashes the key (FNV-1a) onto its shard.
+func (v *visitedSet) shardFor(key string) *visitedShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
 	}
-	for k, v := range e.progress {
-		out.progress[k] = v
-	}
-	for k, v := range e.fired {
-		out.fired[k] = v
-	}
-	return out
+	return &v.shards[h&(visitedShardCount-1)]
+}
+
+func (v *visitedSet) lookup(key string) (lts.StateID, bool) {
+	s := v.shardFor(key)
+	s.mu.RLock()
+	id, ok := s.m[key]
+	s.mu.RUnlock()
+	return id, ok
+}
+
+func (v *visitedSet) insert(key string, id lts.StateID) {
+	s := v.shardFor(key)
+	s.mu.Lock()
+	s.m[key] = id
+	s.mu.Unlock()
 }
 
 // Generator builds privacy LTSs from data-flow models. A single Generator
@@ -167,6 +162,14 @@ func GenerateWithOptions(m *dataflow.Model, opts Options) (*PrivacyLTS, error) {
 }
 
 // Generate builds the privacy LTS for the model.
+//
+// Exploration is a level-synchronised parallel BFS over a compact binary
+// state encoding: the model is compiled once (per-flow gate and effect
+// masks, potential-read tables), each frontier generation is expanded by
+// Options.Workers goroutines that hash candidate successors into a sharded
+// visited set, and the discoveries are merged on one goroutine in frontier
+// order, which makes state numbering and transition order deterministic
+// regardless of the worker count.
 func (g *Generator) Generate(m *dataflow.Model) (*PrivacyLTS, error) {
 	if m == nil {
 		return nil, errors.New("core: model must not be nil")
@@ -190,129 +193,106 @@ func (g *Generator) Generate(m *dataflow.Model) (*PrivacyLTS, error) {
 	}
 	g.checkPolicyConsistency(m, policy, p)
 
-	initial := explState{
-		has:      vocab.NewVector(),
-		stores:   make(map[string]schema.FieldSet),
-		progress: make(map[string]int),
-		fired:    make(map[string]bool),
+	// The packed encoding keeps one 16-bit progress counter per service.
+	for _, svcID := range m.ServiceIDs() {
+		if n := len(m.ServiceFlows(svcID)); n > 0xffff {
+			return nil, fmt.Errorf("core: service %q has %d flows; the exploration encoding supports at most %d per service", svcID, n, 0xffff)
+		}
 	}
 
-	seen := make(map[string]lts.StateID)
-	frozen := make(map[lts.StateID]bool) // potential-read targets not explored further
-	var queue []explState
-	var queueIDs []lts.StateID
+	cm := compileModel(m, policy, vocab, g.opts.FlowOrdering)
+	visited := newVisitedSet()
 
-	register := func(e explState) (lts.StateID, bool) {
-		k := e.key(g.opts.FlowOrdering)
-		if id, ok := seen[k]; ok {
-			return id, false
-		}
-		id := lts.StateID(fmt.Sprintf("s%d", len(seen)))
-		seen[k] = id
-		vec := g.publicVector(m, policy, e)
-		p.Graph.AddState(id, nil)
-		p.vectors[id] = vec
-		storeCopy := make(map[string]schema.FieldSet, len(e.stores))
-		for sid, fs := range e.stores {
-			storeCopy[sid] = fs
-		}
-		p.stores[id] = storeCopy
-		return id, true
-	}
-
-	initID, _ := register(initial)
+	initial := cm.codec.newState()
+	initID := lts.StateID("s0")
+	visited.insert(cm.codec.keyOf(initial), initID)
+	p.Graph.AddState(initID, nil)
 	p.Graph.SetInitial(initID)
-	queue = append(queue, initial)
-	queueIDs = append(queueIDs, initID)
+	p.vectors[initID] = cm.publicVector(initial)
+	p.stores[initID] = cm.decodeStores(initial)
+	stateCount := 1
 
-	for len(queue) > 0 {
-		cur := queue[0]
-		curID := queueIDs[0]
-		queue = queue[1:]
-		queueIDs = queueIDs[1:]
+	frontier := []packedState{initial}
+	frontierIDs := []lts.StateID{initID}
 
-		if len(seen) > g.opts.MaxStates {
-			return nil, fmt.Errorf("%w (limit %d)", ErrStateSpaceTooLarge, g.opts.MaxStates)
-		}
+	for len(frontier) > 0 {
+		// Expansion phase: workers grab frontier states and compute their
+		// successor candidates, including (speculatively, for states not yet
+		// in the visited set) the public vector and store contents.
+		results := make([][]candidate, len(frontier))
+		g.expandFrontier(cm, visited, frontier, results)
 
-		// Declared flows.
-		for _, step := range g.enabledFlows(m, cur, p) {
-			next := g.applyFlow(m, cur, step)
-			nextID, isNew := register(next)
-			p.Graph.AddTransition(curID, nextID, g.flowLabel(m, step))
-			if isNew && !frozen[nextID] {
-				queue = append(queue, next)
-				queueIDs = append(queueIDs, nextID)
+		// Merge phase: single-threaded, in frontier order, so registration
+		// order — and with it every state ID — is deterministic.
+		var nextFrontier []packedState
+		var nextIDs []lts.StateID
+		for i, cands := range results {
+			if stateCount > g.opts.MaxStates {
+				return nil, fmt.Errorf("%w (limit %d)", ErrStateSpaceTooLarge, g.opts.MaxStates)
 			}
-		}
-
-		// Potential reads permitted by the policy.
-		if g.opts.PotentialReads != PotentialReadsOff {
-			for _, pr := range g.potentialReads(m, policy, cur) {
-				next := g.applyPotentialRead(cur, pr)
-				nextID, isNew := register(next)
-				label := NewTransitionLabel(ActionRead, pr.actor, pr.fields)
-				label.Datastore = pr.store
-				label.Potential = true
-				p.Graph.AddTransition(curID, nextID, label)
-				if isNew {
-					if g.opts.PotentialReads == PotentialReadsFull {
-						queue = append(queue, next)
-						queueIDs = append(queueIDs, nextID)
+			from := frontierIDs[i]
+			for _, c := range cands {
+				id := c.knownID
+				isNew := false
+				if !c.known {
+					if existing, ok := visited.lookup(c.key); ok {
+						// Discovered earlier in this same generation.
+						id = existing
 					} else {
-						frozen[nextID] = true
+						id = lts.StateID("s" + strconv.Itoa(stateCount))
+						visited.insert(c.key, id)
+						stateCount++
+						p.Graph.AddState(id, nil)
+						p.vectors[id] = c.vec
+						p.stores[id] = c.stores
+						isNew = true
 					}
+				}
+				p.Graph.AddTransitionUnchecked(from, id, c.label)
+				if isNew && !c.terminal {
+					nextFrontier = append(nextFrontier, c.state)
+					nextIDs = append(nextIDs, id)
 				}
 			}
 		}
+		frontier, frontierIDs = nextFrontier, nextIDs
 	}
 	return p, nil
 }
 
-// flowStep pairs a flow with its derived action.
-type flowStep struct {
-	flow   dataflow.Flow
-	action Action
-}
-
-// enabledFlows returns the flows that may fire in the exploration state,
-// respecting the configured ordering and the data-availability gating rule.
-func (g *Generator) enabledFlows(m *dataflow.Model, cur explState, p *PrivacyLTS) []flowStep {
-	var out []flowStep
-	consider := func(f dataflow.Flow) {
-		action, ok := g.deriveAction(m, f)
-		if !ok {
-			return
-		}
-		if g.gatingSatisfied(m, cur, f, action) {
-			out = append(out, flowStep{flow: f, action: action})
-		}
+// expandFrontier distributes the frontier over the worker pool; results[i]
+// receives the candidates of frontier[i].
+func (g *Generator) expandFrontier(cm *compiledModel, visited *visitedSet, frontier []packedState, results [][]candidate) {
+	workers := g.opts.Workers
+	if workers > len(frontier) {
+		workers = len(frontier)
 	}
-	switch g.opts.FlowOrdering {
-	case OrderDataDriven:
-		for _, svcID := range m.ServiceIDs() {
-			for _, f := range m.ServiceFlows(svcID) {
-				if cur.fired[f.Key()] {
-					continue
+	if workers <= 1 {
+		for i, ps := range frontier {
+			results[i] = cm.expand(ps, visited, g.opts.PotentialReads)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(frontier) {
+					return
 				}
-				consider(f)
+				results[i] = cm.expand(frontier[i], visited, g.opts.PotentialReads)
 			}
-		}
-	default: // OrderSequential
-		for _, svcID := range m.ServiceIDs() {
-			flows := m.ServiceFlows(svcID)
-			idx := cur.progress[svcID]
-			if idx >= len(flows) {
-				continue
-			}
-			consider(flows[idx])
-		}
+		}()
 	}
-	return out
+	wg.Wait()
 }
 
 // deriveAction applies the paper's extraction rules to a flow.
-func (g *Generator) deriveAction(m *dataflow.Model, f dataflow.Flow) (Action, bool) {
+func deriveAction(m *dataflow.Model, f dataflow.Flow) (Action, bool) {
 	fromKind, ok := m.NodeKindOf(f.From)
 	if !ok {
 		return 0, false
@@ -341,96 +321,13 @@ func (g *Generator) deriveAction(m *dataflow.Model, f dataflow.Flow) (Action, bo
 	}
 }
 
-// gatingSatisfied implements the "start node has the correct data to flow"
-// rule: actors must already hold (or author) the fields they send, and
-// datastores must contain the fields read from them.
-func (g *Generator) gatingSatisfied(m *dataflow.Model, cur explState, f dataflow.Flow, action Action) bool {
-	switch action {
-	case ActionCollect:
-		return true // the data subject always holds their own data
-	case ActionDisclose, ActionCreate, ActionAnon:
-		authored := f.AuthoredSet()
-		for _, field := range f.Fields {
-			if authored.Contains(field) {
-				continue
-			}
-			if !cur.has.Has(f.From, field) {
-				return false
-			}
-		}
-		return true
-	case ActionDelete:
-		contents := cur.stores[f.To]
-		for _, field := range f.Fields {
-			if !contents.Contains(field) {
-				return false
-			}
-		}
-		return true
-	case ActionRead:
-		contents := cur.stores[f.From]
-		for _, field := range f.Fields {
-			if !contents.Contains(field) {
-				return false
-			}
-		}
-		return true
-	default:
-		return false
-	}
-}
-
-// applyFlow computes the successor exploration state after a flow fires.
-func (g *Generator) applyFlow(m *dataflow.Model, cur explState, step flowStep) explState {
-	next := cur.clone()
-	f := step.flow
-	switch step.action {
-	case ActionCollect, ActionDisclose:
-		for _, field := range f.Fields {
-			next.has.Set(f.To, field, HasIdentified)
-		}
-		if step.action == ActionDisclose {
-			for _, field := range f.Authored {
-				next.has.Set(f.From, field, HasIdentified)
-			}
-		}
-	case ActionCreate:
-		for _, field := range f.Authored {
-			next.has.Set(f.From, field, HasIdentified)
-		}
-		next.stores[f.To] = next.stores[f.To].Union(f.FieldSet())
-	case ActionAnon:
-		for _, field := range f.Authored {
-			next.has.Set(f.From, field, HasIdentified)
-		}
-		anonNames := make([]string, 0, len(f.Fields))
-		for _, field := range f.Fields {
-			anonNames = append(anonNames, schema.AnonName(field))
-		}
-		next.stores[f.To] = next.stores[f.To].Union(schema.NewFieldSet(anonNames...))
-	case ActionDelete:
-		next.stores[f.To] = next.stores[f.To].Minus(f.FieldSet())
-	case ActionRead:
-		for _, field := range f.Fields {
-			next.has.Set(f.To, field, HasIdentified)
-		}
-	}
-	if g.opts.FlowOrdering == OrderDataDriven {
-		next.fired[f.Key()] = true
-	} else {
-		next.progress[f.Service] = cur.progress[f.Service] + 1
-	}
-	return next
-}
-
 // flowLabel builds the transition label for a declared flow.
-func (g *Generator) flowLabel(m *dataflow.Model, step flowStep) *TransitionLabel {
-	f := step.flow
-	label := NewTransitionLabel(step.action, "", f.Fields)
+func flowLabel(f dataflow.Flow, action Action) *TransitionLabel {
+	label := NewTransitionLabel(action, "", f.Fields)
 	label.Purpose = f.Purpose
 	label.Service = f.Service
 	label.FlowKey = f.Key()
-	switch step.action {
+	switch action {
 	case ActionCollect:
 		label.Actor = f.To
 		label.Counterpart = f.From
@@ -444,7 +341,7 @@ func (g *Generator) flowLabel(m *dataflow.Model, step flowStep) *TransitionLabel
 		label.Actor = f.To
 		label.Datastore = f.From
 	}
-	if step.action == ActionAnon {
+	if action == ActionAnon {
 		anonNames := make([]string, 0, len(f.Fields))
 		for _, field := range f.Fields {
 			anonNames = append(anonNames, schema.AnonName(field))
@@ -455,88 +352,13 @@ func (g *Generator) flowLabel(m *dataflow.Model, step flowStep) *TransitionLabel
 	return label
 }
 
-// potentialRead describes a read the policy allows but no flow performs.
-type potentialRead struct {
-	actor  string
-	store  string
-	fields []string
-}
-
-// potentialReads enumerates, for the current state, every (actor, datastore)
-// pair where the actor may read fields currently held by the store that the
-// actor has not yet identified. One potential read per pair is produced,
-// covering all such fields.
-func (g *Generator) potentialReads(m *dataflow.Model, policy accesscontrol.Policy, cur explState) []potentialRead {
-	var out []potentialRead
-	for _, storeID := range m.DatastoreIDs() {
-		contents := cur.stores[storeID]
-		if contents.IsEmpty() {
-			continue
-		}
-		byActor := make(map[string][]string)
-		for _, field := range contents.Names() {
-			for _, actor := range policy.ActorsWith(storeID, field, accesscontrol.PermissionRead) {
-				if cur.has.Has(actor, field) {
-					continue
-				}
-				byActor[actor] = append(byActor[actor], field)
-			}
-		}
-		actors := make([]string, 0, len(byActor))
-		for a := range byActor {
-			actors = append(actors, a)
-		}
-		sort.Strings(actors)
-		for _, a := range actors {
-			fields := byActor[a]
-			sort.Strings(fields)
-			out = append(out, potentialRead{actor: a, store: storeID, fields: fields})
-		}
-	}
-	return out
-}
-
-// applyPotentialRead computes the state after a potential read: the actor now
-// has identified the fields. Service progress is unchanged.
-func (g *Generator) applyPotentialRead(cur explState, pr potentialRead) explState {
-	next := cur.clone()
-	for _, field := range pr.fields {
-		next.has.Set(pr.actor, field, HasIdentified)
-	}
-	return next
-}
-
-// publicVector builds the externally-visible privacy state vector: the "has"
-// variables accumulated so far plus the derived "could" variables. An actor
-// could identify a field when they have already identified it or when some
-// datastore currently holds the field and the policy grants them read access
-// to it.
-func (g *Generator) publicVector(m *dataflow.Model, policy accesscontrol.Policy, e explState) StateVector {
-	vec := e.has.Clone()
-	for _, actor := range vec.vocab.Actors() {
-		for _, field := range vec.vocab.Fields() {
-			if vec.Has(actor, field) {
-				vec.Set(actor, field, CouldIdentify)
-			}
-		}
-	}
-	for storeID, contents := range e.stores {
-		for _, field := range contents.Names() {
-			for _, actor := range policy.ActorsWith(storeID, field, accesscontrol.PermissionRead) {
-				vec.Set(actor, field, CouldIdentify)
-			}
-		}
-	}
-	return vec
-}
-
 // checkPolicyConsistency records a warning for every declared flow whose
 // acting actor lacks the permission the flow requires (write for create/anon,
 // delete for delete flows, read for read flows). Such flows represent a
 // mismatch between the designed behaviour and the access-control policy.
 func (g *Generator) checkPolicyConsistency(m *dataflow.Model, policy accesscontrol.Policy, p *PrivacyLTS) {
 	for _, f := range m.Flows {
-		action, ok := g.deriveAction(m, f)
+		action, ok := deriveAction(m, f)
 		if !ok {
 			continue
 		}

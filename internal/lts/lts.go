@@ -159,6 +159,21 @@ func (l *LTS) AddTransition(from, to StateID, label Label) {
 	l.incoming[to] = append(l.incoming[to], idx)
 }
 
+// AddTransitionUnchecked appends a labelled transition without AddTransition's
+// duplicate scan (which renders the label of every parallel edge). Builders
+// that guarantee each (from, to, label) triple is produced at most once — such
+// as the privacy-LTS generator, which expands every state exactly once — use
+// it to keep the serial merge phase of parallel generation cheap. Missing
+// endpoint states are still created.
+func (l *LTS) AddTransitionUnchecked(from, to StateID, label Label) {
+	l.AddState(from, nil)
+	l.AddState(to, nil)
+	l.transitions = append(l.transitions, Transition{From: from, To: to, Label: label})
+	idx := len(l.transitions) - 1
+	l.outgoing[from] = append(l.outgoing[from], idx)
+	l.incoming[to] = append(l.incoming[to], idx)
+}
+
 // StateCount returns the number of states.
 func (l *LTS) StateCount() int { return len(l.states) }
 

@@ -410,3 +410,29 @@ func TestTransitionsReturnsCopy(t *testing.T) {
 		t.Error("StateIDs() must return a copy")
 	}
 }
+
+func TestAddTransitionUnchecked(t *testing.T) {
+	l := New()
+	l.SetInitial("s0")
+	l.AddTransitionUnchecked("s0", "s1", StringLabel("a"))
+	l.AddTransitionUnchecked("s1", "s1", StringLabel("loop"))
+	if l.StateCount() != 2 || l.TransitionCount() != 2 {
+		t.Fatalf("states/transitions = %d/%d, want 2/2", l.StateCount(), l.TransitionCount())
+	}
+	if got := len(l.Outgoing("s0")); got != 1 {
+		t.Errorf("Outgoing(s0) = %d transitions, want 1", got)
+	}
+	if got := len(l.Incoming("s1")); got != 2 {
+		t.Errorf("Incoming(s1) = %d transitions, want 2", got)
+	}
+	// Unlike AddTransition, duplicates are the caller's responsibility: the
+	// unchecked variant appends them verbatim.
+	l.AddTransitionUnchecked("s0", "s1", StringLabel("a"))
+	if l.TransitionCount() != 3 {
+		t.Errorf("unchecked duplicate was deduplicated; transitions = %d, want 3", l.TransitionCount())
+	}
+	l.AddTransition("s0", "s1", StringLabel("a"))
+	if l.TransitionCount() != 3 {
+		t.Errorf("checked add after unchecked should dedupe; transitions = %d, want 3", l.TransitionCount())
+	}
+}

@@ -10,7 +10,13 @@
 //     Labelled Transition System whose states carry, for every (actor,
 //     field) pair, whether the actor HAS identified or COULD identify the
 //     field, and whose transitions are the paper's six actions on personal
-//     data (collect, create, read, disclose, anon, delete).
+//     data (collect, create, read, disclose, anon, delete). Generation is a
+//     parallel, memory-compact state-space exploration: states are encoded
+//     as fixed-width bit vectors hashed into a sharded visited set, and a
+//     configurable worker pool (GenerateOptions.Workers, one worker per CPU
+//     by default) expands the BFS frontier with deterministic merging, so
+//     the generated model is byte-identical for any worker count. See
+//     docs/ARCHITECTURE.md for the engine design.
 //  3. Automated analyses run over the generated model: unwanted-disclosure
 //     risk per user profile (impact × likelihood through a risk matrix),
 //     pseudonymisation value risk against a dataset (the k-anonymity value
@@ -139,7 +145,8 @@ type (
 	// PrivacyModel is the generated formal model of user privacy (an LTS
 	// with privacy state vectors).
 	PrivacyModel = core.PrivacyLTS
-	// GenerateOptions configures LTS generation.
+	// GenerateOptions configures LTS generation: flow ordering, potential
+	// reads, the state cap, and the number of parallel exploration workers.
 	GenerateOptions = core.Options
 	// Action is one of the six actions on personal data.
 	Action = core.Action
@@ -374,7 +381,9 @@ func SyntheticHealthRecords(opts synth.HealthRecordsOptions) *DataTable {
 
 // AssessOptions configures the Assess pipeline.
 type AssessOptions struct {
-	// Generate configures LTS generation; zero value for defaults.
+	// Generate configures LTS generation; zero value for defaults
+	// (sequential flow ordering, terminal potential reads, one exploration
+	// worker per CPU).
 	Generate GenerateOptions
 	// Risk configures the disclosure-risk analyzer; zero value for defaults.
 	Risk RiskConfig
