@@ -7,10 +7,17 @@
 // Usage:
 //
 //	privaserve -model model.json [-profile profile.json] [-duration 30s]
+//	           [-monitor-shards 16] [-events replay.json]
 //
 // The server addresses are printed on startup; drive them with any HTTP
 // client (the X-Privascope-Actor header selects the acting actor). The
 // process exits after -duration (0 means run until interrupted).
+//
+// -monitor-shards spreads the monitor's per-user state over the given
+// number of lock stripes (0 = one per CPU); alerts and observations are
+// identical for every value. -events replays a JSON array of events through
+// the monitor's batch-ingestion path before live serving starts, which is
+// useful for smoke-testing a model against a recorded trace.
 package main
 
 import (
@@ -40,6 +47,8 @@ func run(args []string, out io.Writer) error {
 	profilePath := fs.String("profile", "", "path to the monitored user's profile (JSON)")
 	duration := fs.Duration("duration", 0, "how long to serve before exiting (0 = until interrupted)")
 	workers := fs.Int("workers", 0, "parallel LTS-generation workers (0 = one per CPU)")
+	monitorShards := fs.Int("monitor-shards", 0, "monitor lock stripes for per-user state (0 = one per CPU)")
+	eventsPath := fs.String("events", "", "path to a JSON array of events to replay through the monitor at startup")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,7 +64,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	monitor, err := privascope.NewMonitor(generated, privascope.MonitorConfig{})
+	monitor, err := privascope.NewMonitor(generated, privascope.MonitorConfig{Shards: *monitorShards})
 	if err != nil {
 		return err
 	}
@@ -65,6 +74,13 @@ func run(args []string, out io.Writer) error {
 	}
 	if err := monitor.RegisterUser(profile); err != nil {
 		return err
+	}
+	fmt.Fprintf(out, "monitor: %d shards\n", monitor.Shards())
+
+	if *eventsPath != "" {
+		if err := replayEvents(*eventsPath, monitor, profile.ID, out); err != nil {
+			return err
+		}
 	}
 
 	cluster, err := privascope.StartCluster(model)
@@ -92,6 +108,29 @@ func run(args []string, out io.Writer) error {
 	events, cancel := cluster.Log().Subscribe(256)
 	defer cancel()
 
+	// Batch the live stream: one goroutine drains the subscription in bursts
+	// (privascope.NextEventBatch) and the monitor ingests each burst through
+	// its sharded batch path. The done channel unblocks a pending send when
+	// run returns before the subscription closes (deadline or interrupt), so
+	// in-process callers (tests) do not leak the goroutine.
+	done := make(chan struct{})
+	defer close(done)
+	batches := make(chan []privascope.Event)
+	go func() {
+		defer close(batches)
+		for {
+			batch := privascope.NextEventBatch(events, 256)
+			if batch == nil {
+				return
+			}
+			select {
+			case batches <- batch:
+			case <-done:
+				return
+			}
+		}
+	}()
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 	var deadline <-chan time.Time
@@ -103,22 +142,36 @@ func run(args []string, out io.Writer) error {
 
 	for {
 		select {
-		case ev, ok := <-events:
+		case batch, ok := <-batches:
 			if !ok {
 				return nil
 			}
-			if ev.UserID != profile.ID {
+			mine := batch[:0:0]
+			for _, ev := range batch {
+				if ev.UserID == profile.ID {
+					mine = append(mine, ev)
+				}
+			}
+			if len(mine) == 0 {
 				continue
 			}
-			obs, err := monitor.Observe(ev)
+			observations, err := monitor.ObserveBatch(mine)
 			if err != nil {
-				fmt.Fprintf(out, "event %d ignored: %v\n", ev.Seq, err)
-				continue
+				fmt.Fprintf(out, "batch partially ignored: %v\n", err)
 			}
-			fmt.Fprintf(out, "event %d: %s(%v) by %s on %s -> state %s\n",
-				ev.Seq, ev.Action, ev.Fields, ev.Actor, ev.Datastore, obs.To)
-			for _, alert := range obs.Alerts {
-				fmt.Fprintf(out, "ALERT [%s]: %s\n", alert.Kind, alert.Message)
+			for i, obs := range observations {
+				ev := mine[i]
+				if obs.From == "" {
+					// Zero observation: the event errored (see the joined
+					// error above) and was never applied.
+					fmt.Fprintf(out, "event %d ignored\n", ev.Seq)
+					continue
+				}
+				fmt.Fprintf(out, "event %d: %s(%v) by %s on %s -> state %s\n",
+					ev.Seq, ev.Action, ev.Fields, ev.Actor, ev.Datastore, obs.To)
+				for _, alert := range obs.Alerts {
+					fmt.Fprintf(out, "ALERT [%s]: %s\n", alert.Kind, alert.Message)
+				}
 			}
 		case <-stop:
 			fmt.Fprintln(out, "privaserve: interrupted")
@@ -128,6 +181,44 @@ func run(args []string, out io.Writer) error {
 			return nil
 		}
 	}
+}
+
+// replayEvents feeds a recorded JSON event trace through the monitor's batch
+// path, printing one line per event plus any alerts. Events for users other
+// than the monitored one are skipped.
+func replayEvents(path string, monitor *privascope.Monitor, userID string, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading events: %w", err)
+	}
+	var events []privascope.Event
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("parsing events: %w", err)
+	}
+	replay := make([]privascope.Event, 0, len(events))
+	skipped := 0
+	for _, ev := range events {
+		if ev.UserID != userID {
+			skipped++
+			continue
+		}
+		replay = append(replay, ev)
+	}
+	observations, err := monitor.ObserveBatch(replay)
+	if err != nil {
+		return fmt.Errorf("replaying events: %w", err)
+	}
+	for i, obs := range observations {
+		ev := replay[i]
+		fmt.Fprintf(out, "replay %d: %s(%v) by %s on %s -> state %s\n",
+			i+1, ev.Action, ev.Fields, ev.Actor, ev.Datastore, obs.To)
+		for _, alert := range obs.Alerts {
+			fmt.Fprintf(out, "ALERT [%s]: %s\n", alert.Kind, alert.Message)
+		}
+	}
+	fmt.Fprintf(out, "replay complete: %d events (%d skipped), %d alerts\n",
+		len(replay), skipped, len(monitor.Alerts()))
+	return nil
 }
 
 func loadProfile(path string, model *privascope.Model) (privascope.UserProfile, error) {

@@ -10,9 +10,11 @@ package casestudy
 
 import (
 	"privascope/internal/accesscontrol"
+	"privascope/internal/core"
 	"privascope/internal/dataflow"
 	"privascope/internal/risk"
 	"privascope/internal/schema"
+	"privascope/internal/service"
 )
 
 // Identifiers of the doctors'-surgery model (Fig. 1).
@@ -182,5 +184,27 @@ func PatientProfile() risk.UserProfile {
 			schema.AnonName(FieldDateOfBirth):   risk.SensitivityLow,
 		},
 		DefaultSensitivity: 0.1,
+	}
+}
+
+// MedicalServiceEvents returns the runtime events of one full execution of
+// the Medical Service for the given user, in declared flow order. Each event
+// matches a declared transition of the generated privacy LTS without raising
+// alerts, so the sequence doubles as the runtime monitor's hot-path fixture
+// (tests, benchmarks and the privaserve golden trace all share it).
+func MedicalServiceEvents(userID string) []service.Event {
+	return []service.Event{
+		{Actor: ActorReceptionist, Action: core.ActionCollect, UserID: userID,
+			Fields: []string{FieldName, FieldDateOfBirth}},
+		{Actor: ActorReceptionist, Action: core.ActionCreate, Datastore: StoreAppointments, UserID: userID,
+			Fields: []string{FieldName, FieldDateOfBirth, FieldAppointment}},
+		{Actor: ActorDoctor, Action: core.ActionRead, Datastore: StoreAppointments, UserID: userID,
+			Fields: []string{FieldName, FieldDateOfBirth, FieldAppointment}},
+		{Actor: ActorDoctor, Action: core.ActionCollect, UserID: userID,
+			Fields: []string{FieldMedicalIssues}},
+		{Actor: ActorDoctor, Action: core.ActionCreate, Datastore: StoreEHR, UserID: userID,
+			Fields: []string{FieldName, FieldDateOfBirth, FieldMedicalIssues, FieldDiagnosis, FieldTreatment}},
+		{Actor: ActorNurse, Action: core.ActionRead, Datastore: StoreEHR, UserID: userID,
+			Fields: []string{FieldName, FieldTreatment}},
 	}
 }

@@ -1,0 +1,145 @@
+package risk
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"privascope/internal/core"
+)
+
+// Fingerprint returns a canonical encoding of the profile's risk-relevant
+// shape: the sorted consented services, the sorted per-field sensitivities
+// and the default sensitivity. The user ID is deliberately excluded — two
+// users with the same fingerprint receive identical assessments against the
+// same privacy model, which is what lets AssessmentCache share one analysis
+// across an arbitrarily large population of same-shaped users.
+func (u UserProfile) Fingerprint() string {
+	services := append([]string(nil), u.ConsentedServices...)
+	sort.Strings(services)
+	fields := make([]string, 0, len(u.Sensitivities))
+	for f := range u.Sensitivities {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+
+	// Every name is length-prefixed so the encoding is injective: no choice
+	// of service or field names (which may contain any byte) can make two
+	// different shapes render identically. Floats are canonical via
+	// FormatFloat and terminated by ';', which no float contains.
+	var b strings.Builder
+	writeName := func(s string) {
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
+	}
+	b.WriteString("svc")
+	for _, s := range services {
+		b.WriteByte(';')
+		writeName(s)
+	}
+	b.WriteString("|def:")
+	b.WriteString(strconv.FormatFloat(u.DefaultSensitivity, 'g', -1, 64))
+	b.WriteString("|sens")
+	for _, f := range fields {
+		b.WriteByte(';')
+		writeName(f)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(u.Sensitivities[f], 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// cacheKey identifies one cached analysis: the model instance (by identity —
+// a PrivacyLTS is immutable once generated) and the profile fingerprint.
+type cacheKey struct {
+	model       *core.PrivacyLTS
+	fingerprint string
+}
+
+// cacheEntry is computed exactly once; concurrent requests for the same key
+// block on the first computation instead of duplicating it.
+type cacheEntry struct {
+	once       sync.Once
+	assessment *Assessment
+	err        error
+}
+
+// AssessmentCache deduplicates risk assessments across users with identical
+// profile shapes (Fingerprint). The first analysis of each (model, shape)
+// pair runs the full Analyzer; every subsequent request returns the shared
+// result in O(1), with only the Profile swapped for the caller's. It is safe
+// for concurrent use.
+//
+// Findings of a cached assessment are shared between callers and must be
+// treated as immutable, which matches the Analyzer contract (analyses never
+// mutate their outputs after returning them).
+type AssessmentCache struct {
+	analyzer *Analyzer
+
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewAssessmentCache wraps the analyzer with a fingerprint-keyed cache.
+// A nil analyzer selects the default configuration.
+func NewAssessmentCache(analyzer *Analyzer) (*AssessmentCache, error) {
+	if analyzer == nil {
+		var err error
+		analyzer, err = NewAnalyzer(Config{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &AssessmentCache{analyzer: analyzer, entries: make(map[cacheKey]*cacheEntry)}, nil
+}
+
+// Analyzer returns the underlying analyzer.
+func (c *AssessmentCache) Analyzer() *Analyzer { return c.analyzer }
+
+// Analyze returns the assessment for the profile, computing it at most once
+// per (model, profile shape). The returned Assessment carries the caller's
+// profile; its Findings slice is shared with every other user of the same
+// shape.
+func (c *AssessmentCache) Analyze(p *core.PrivacyLTS, profile UserProfile) (*Assessment, error) {
+	key := cacheKey{model: p, fingerprint: profile.Fingerprint()}
+	c.mu.Lock()
+	entry, ok := c.entries[key]
+	if !ok {
+		entry = &cacheEntry{}
+		c.entries[key] = entry
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	entry.once.Do(func() {
+		entry.assessment, entry.err = c.analyzer.Analyze(p, profile)
+	})
+	if entry.err != nil {
+		return nil, entry.err
+	}
+	shared := *entry.assessment
+	shared.Profile = profile
+	return &shared, nil
+}
+
+// Hits returns how many Analyze calls were served from the cache.
+func (c *AssessmentCache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns how many Analyze calls computed a fresh assessment.
+func (c *AssessmentCache) Misses() int64 { return c.misses.Load() }
+
+// Size returns the number of distinct (model, shape) pairs cached.
+func (c *AssessmentCache) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,241 @@
+package runtime_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"privascope/internal/casestudy"
+	"privascope/internal/core"
+	"privascope/internal/runtime"
+	"privascope/internal/service"
+)
+
+// mixedEventStream interleaves, across several users, consented
+// medical-service runs with risky potential reads, unmodelled behaviour and
+// denied operations — every alert kind and the no-alert hot path.
+func mixedEventStream(users []string) []service.Event {
+	var out []service.Event
+	for _, id := range users {
+		out = append(out, medicalServiceEvents(id)...)
+	}
+	for i, id := range users {
+		switch i % 3 {
+		case 0: // risky potential read by the administrator
+			out = append(out, service.Event{Actor: casestudy.ActorAdministrator, Action: core.ActionRead,
+				Datastore: casestudy.StoreEHR, UserID: id, Fields: []string{casestudy.FieldDiagnosis}})
+		case 1: // unmodelled: the researcher reads the raw EHR
+			out = append(out, service.Event{Actor: casestudy.ActorResearcher, Action: core.ActionRead,
+				Datastore: casestudy.StoreEHR, UserID: id, Fields: []string{casestudy.FieldDiagnosis}})
+		case 2: // denied operation
+			out = append(out, service.Event{Actor: casestudy.ActorNurse, Action: core.ActionRead,
+				Datastore: casestudy.StoreEHR, UserID: id, Fields: []string{casestudy.FieldDiagnosis}, Denied: true})
+		}
+	}
+	return out
+}
+
+// TestMonitorShardCountDeterminism is the tentpole's behavioural contract:
+// the same sequential event stream produces identical observations, cursor
+// positions and alerts (content and order) for 1, 4 and 16 shards.
+func TestMonitorShardCountDeterminism(t *testing.T) {
+	p, err := core.Generate(casestudy.Surgery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := make([]string, 9)
+	for i := range users {
+		users[i] = fmt.Sprintf("patient-%d", i)
+	}
+	stream := mixedEventStream(users)
+
+	type result struct {
+		observations []runtime.Observation
+		alerts       []runtime.Alert
+		users        []string
+		cursors      map[string]string
+	}
+	runWith := func(shards int) result {
+		monitor, err := runtime.NewMonitor(p, runtime.Config{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := monitor.Shards(); got != shards {
+			t.Fatalf("Shards() = %d, want %d", got, shards)
+		}
+		for _, id := range users {
+			profile := casestudy.PatientProfile()
+			profile.ID = id
+			if err := monitor.RegisterUser(profile); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res := result{cursors: make(map[string]string)}
+		for i, ev := range stream {
+			obs, err := monitor.Observe(ev)
+			if err != nil {
+				t.Fatalf("shards=%d: Observe(%d): %v", shards, i, err)
+			}
+			res.observations = append(res.observations, obs)
+		}
+		res.alerts = monitor.Alerts()
+		res.users = monitor.Users()
+		for _, id := range users {
+			state, ok := monitor.CurrentState(id)
+			if !ok {
+				t.Fatalf("shards=%d: no cursor for %s", shards, id)
+			}
+			res.cursors[id] = string(state)
+		}
+		return res
+	}
+
+	baseline := runWith(1)
+	if len(baseline.alerts) != len(users) {
+		t.Fatalf("baseline alerts = %d, want one per user (%d)", len(baseline.alerts), len(users))
+	}
+	for _, shards := range []int{4, 16} {
+		got := runWith(shards)
+		if !reflect.DeepEqual(got.observations, baseline.observations) {
+			t.Errorf("shards=%d: observations differ from single-shard baseline", shards)
+		}
+		if !reflect.DeepEqual(got.alerts, baseline.alerts) {
+			t.Errorf("shards=%d: alerts differ from single-shard baseline", shards)
+		}
+		if !reflect.DeepEqual(got.users, baseline.users) {
+			t.Errorf("shards=%d: Users() = %v, want %v", shards, got.users, baseline.users)
+		}
+		if !reflect.DeepEqual(got.cursors, baseline.cursors) {
+			t.Errorf("shards=%d: cursors = %v, want %v", shards, got.cursors, baseline.cursors)
+		}
+	}
+}
+
+// TestObserveBatchMatchesSequentialObserve feeds the same stream through
+// ObserveBatch (parallel shard fan-out) and sequential Observe calls and
+// requires identical observations and per-user alert sequences.
+func TestObserveBatchMatchesSequentialObserve(t *testing.T) {
+	p, err := core.Generate(casestudy.Surgery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := make([]string, 8)
+	for i := range users {
+		users[i] = fmt.Sprintf("patient-%d", i)
+	}
+	stream := mixedEventStream(users)
+
+	register := func(m *runtime.Monitor) {
+		for _, id := range users {
+			profile := casestudy.PatientProfile()
+			profile.ID = id
+			if err := m.RegisterUser(profile); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	sequential, err := runtime.NewMonitor(p, runtime.Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(sequential)
+	var want []runtime.Observation
+	for _, ev := range stream {
+		obs, err := sequential.Observe(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, obs)
+	}
+
+	batched, err := runtime.NewMonitor(p, runtime.Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(batched)
+	got, err := batched.ObserveBatch(stream)
+	if err != nil {
+		t.Fatalf("ObserveBatch: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ObserveBatch returned %d observations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		// Alert sequence numbers may differ across concurrent shards; compare
+		// everything else and the alert contents.
+		if got[i].Matched != want[i].Matched || got[i].From != want[i].From || got[i].To != want[i].To ||
+			!reflect.DeepEqual(got[i].Transition, want[i].Transition) {
+			t.Errorf("observation %d differs: got %+v want %+v", i, got[i], want[i])
+		}
+		if len(got[i].Alerts) != len(want[i].Alerts) {
+			t.Fatalf("observation %d: %d alerts, want %d", i, len(got[i].Alerts), len(want[i].Alerts))
+		}
+		for j := range want[i].Alerts {
+			g, w := got[i].Alerts[j], want[i].Alerts[j]
+			if g.Kind != w.Kind || g.UserID != w.UserID || g.Message != w.Message || g.Risk != w.Risk {
+				t.Errorf("observation %d alert %d differs: got %+v want %+v", i, j, g, w)
+			}
+		}
+	}
+	// Per-user alert sequences must match exactly.
+	for _, id := range users {
+		g := alertSummaries(batched.AlertsFor(id))
+		w := alertSummaries(sequential.AlertsFor(id))
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("AlertsFor(%s): got %v want %v", id, g, w)
+		}
+	}
+}
+
+func alertSummaries(alerts []runtime.Alert) []string {
+	out := make([]string, len(alerts))
+	for i, a := range alerts {
+		out[i] = fmt.Sprintf("%s|%s|%s", a.Kind, a.UserID, a.Message)
+	}
+	return out
+}
+
+// TestObserveBatchUnregisteredUsers: unknown users yield a joined error and
+// zero observations while the rest of the batch is still processed.
+func TestObserveBatchUnregisteredUsers(t *testing.T) {
+	_, monitor := surgeryMonitor(t)
+	batch := []service.Event{
+		{Actor: casestudy.ActorReceptionist, Action: core.ActionCollect, UserID: "patient-1",
+			Fields: []string{casestudy.FieldName, casestudy.FieldDateOfBirth}},
+		{Actor: casestudy.ActorReceptionist, Action: core.ActionCollect, UserID: "stranger",
+			Fields: []string{casestudy.FieldName}},
+	}
+	observations, err := monitor.ObserveBatch(batch)
+	if err == nil {
+		t.Fatal("ObserveBatch accepted an unregistered user")
+	}
+	if len(observations) != 2 {
+		t.Fatalf("observations = %d, want 2", len(observations))
+	}
+	if !observations[0].Matched {
+		t.Error("registered user's event should have matched")
+	}
+	if observations[1].Matched || len(observations[1].Alerts) != 0 {
+		t.Errorf("unregistered user's observation should be zero, got %+v", observations[1])
+	}
+}
+
+// TestWatchBatched drives the batched watcher through a closing channel.
+func TestWatchBatched(t *testing.T) {
+	_, monitor := surgeryMonitor(t)
+	ch := make(chan service.Event, 16)
+	for _, ev := range medicalServiceEvents("patient-1") {
+		ch <- ev
+	}
+	close(ch)
+	if n := monitor.WatchBatched(ch, 4); n != 6 {
+		t.Errorf("WatchBatched observed %d events, want 6", n)
+	}
+	if state, _ := monitor.CurrentState("patient-1"); state == "" {
+		t.Error("cursor missing after WatchBatched")
+	}
+	if alerts := monitor.Alerts(); len(alerts) != 0 {
+		t.Errorf("consented run raised alerts: %+v", alerts)
+	}
+}

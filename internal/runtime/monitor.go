@@ -11,14 +11,24 @@
 // raised when the observed transition carries a risk at or above the alert
 // threshold or when the behaviour is not part of the model at all
 // (unmodelled behaviour — a design/implementation mismatch).
+//
+// The monitor is built for production event rates. Per-user state is spread
+// over lock-striped shards keyed by user-ID hash, so concurrent Observe
+// calls on different users do not contend; event matching runs against a
+// transition index compiled once per model (see index.go); and risk
+// assessments are deduplicated through a profile-fingerprint cache, so
+// registering the millionth user with an already-seen profile shape is O(1).
+// The observable behaviour — observations, cursor movement, alerts — is
+// identical for every shard count.
 package runtime
 
 import (
 	"errors"
 	"fmt"
+	goruntime "runtime"
 	"sort"
-	"strings"
 	"sync"
+	"sync/atomic"
 
 	"privascope/internal/core"
 	"privascope/internal/lts"
@@ -63,6 +73,11 @@ type Alert struct {
 	Finding risk.Finding
 	// Message is a human-readable summary.
 	Message string
+
+	// seq orders alerts across shards: it is assigned from a monitor-wide
+	// counter at the moment the alert is raised, so Alerts() can merge the
+	// per-shard slices back into observation order.
+	seq int64
 }
 
 // Observation is the result of feeding one event to the monitor.
@@ -78,20 +93,49 @@ type Observation struct {
 	Alerts []Alert
 }
 
-// Monitor tracks per-user privacy state against a privacy LTS. It is safe
-// for concurrent use.
-type Monitor struct {
-	lts      *core.PrivacyLTS
-	analyzer *risk.Analyzer
-	// alertAt is the minimum risk level that raises an alert.
-	alertAt risk.Level
+// findingKey indexes a user's assessment findings by the matched transition
+// and the at-risk actor, so an observed event maps to its risk level in
+// O(1). Transitions compare by value: (From, To, Label); generation shares
+// label pointers, so this equals identity of the disclosure event.
+type findingKey struct {
+	tr    lts.Transition
+	actor string
+}
 
+// findingsIndex is the per-profile-shape risk lookup table. It is built once
+// per shape and shared read-only by every user with that shape.
+type findingsIndex map[findingKey]risk.Finding
+
+// monitorShard holds the mutable per-user state of one lock stripe.
+type monitorShard struct {
 	mu       sync.Mutex
 	cursors  map[string]lts.StateID
 	profiles map[string]risk.UserProfile
-	// findings indexes each user's assessment by transition key.
-	findings map[string]map[string]risk.Finding
+	findings map[string]findingsIndex
 	alerts   []Alert
+}
+
+// Monitor tracks per-user privacy state against a privacy LTS. It is safe
+// for concurrent use; Observe calls for users on different shards proceed in
+// parallel.
+type Monitor struct {
+	lts   *core.PrivacyLTS
+	cache *risk.AssessmentCache
+	index *transitionIndex
+	// alertAt is the minimum risk level that raises an alert.
+	alertAt risk.Level
+
+	shards   []monitorShard
+	alertSeq atomic.Int64
+
+	// shapes caches the compiled findings index per profile fingerprint.
+	// Deduplication of the underlying (expensive) risk analysis is the
+	// assessment cache's job; this memo only spares re-deriving the lookup
+	// table from the shared assessment.
+	shapeMu     sync.Mutex
+	shapes      map[string]findingsIndex
+	shapeHits   atomic.Int64
+	shapeMisses atomic.Int64
 }
 
 // Config configures a Monitor.
@@ -102,67 +146,144 @@ type Config struct {
 	// AlertAt is the minimum risk level that raises an alert; defaults to
 	// Medium.
 	AlertAt risk.Level
+	// Shards is the number of lock stripes user state is spread over; zero
+	// or negative selects one per CPU. Purely a concurrency knob: for a
+	// sequential event stream every value yields identical observations,
+	// cursors and alerts, and under concurrent ingestion per-user sequences
+	// and the alert set stay shard-count-independent (only the global
+	// interleaving across users follows scheduling, as with any lock).
+	Shards int
 }
 
-// NewMonitor creates a monitor for the generated privacy LTS.
+// NewMonitor creates a monitor for the generated privacy LTS. The model's
+// transition index is compiled here, once, so Observe never scans labels.
 func NewMonitor(p *core.PrivacyLTS, cfg Config) (*Monitor, error) {
 	if p == nil {
 		return nil, errors.New("runtime: privacy LTS must not be nil")
 	}
-	analyzer := cfg.Analyzer
-	if analyzer == nil {
-		var err error
-		analyzer, err = risk.NewAnalyzer(risk.Config{})
-		if err != nil {
-			return nil, err
-		}
+	cache, err := risk.NewAssessmentCache(cfg.Analyzer)
+	if err != nil {
+		return nil, err
 	}
 	alertAt := cfg.AlertAt
 	if alertAt == 0 {
 		alertAt = risk.LevelMedium
 	}
-	return &Monitor{
-		lts:      p,
-		analyzer: analyzer,
-		alertAt:  alertAt,
-		cursors:  make(map[string]lts.StateID),
-		profiles: make(map[string]risk.UserProfile),
-		findings: make(map[string]map[string]risk.Finding),
-	}, nil
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = goruntime.GOMAXPROCS(0)
+	}
+	m := &Monitor{
+		lts:     p,
+		cache:   cache,
+		index:   newTransitionIndex(p),
+		alertAt: alertAt,
+		shards:  make([]monitorShard, shards),
+		shapes:  make(map[string]findingsIndex),
+	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.cursors = make(map[string]lts.StateID)
+		s.profiles = make(map[string]risk.UserProfile)
+		s.findings = make(map[string]findingsIndex)
+	}
+	return m, nil
+}
+
+// Shards returns the number of lock stripes the monitor uses.
+func (m *Monitor) Shards() int { return len(m.shards) }
+
+// AssessmentCacheStats reports how many user registrations were served from
+// the profile-fingerprint cache versus assessed from scratch.
+func (m *Monitor) AssessmentCacheStats() (hits, misses int64) {
+	return m.shapeHits.Load(), m.shapeMisses.Load()
+}
+
+// shardIndexFor hashes a user ID onto a lock stripe (inline FNV-1a: the
+// hash/fnv API would allocate twice per event on the Observe hot path).
+func (m *Monitor) shardIndexFor(userID string) int {
+	if len(m.shards) == 1 {
+		return 0
+	}
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(userID); i++ {
+		h ^= uint32(userID[i])
+		h *= prime32
+	}
+	return int(h % uint32(len(m.shards)))
+}
+
+// shardFor selects the lock stripe owning the user's state.
+func (m *Monitor) shardFor(userID string) *monitorShard {
+	return &m.shards[m.shardIndexFor(userID)]
 }
 
 // RegisterUser starts tracking a user: their cursor is placed at the initial
 // (absolute privacy) state and their profile is assessed against the model so
-// observed transitions can be mapped to risk levels cheaply.
+// observed transitions can be mapped to risk levels cheaply. The assessment
+// and its findings index are computed once per profile shape (Fingerprint)
+// and shared, so registration is O(1) after the first user of each shape.
 func (m *Monitor) RegisterUser(profile risk.UserProfile) error {
-	assessment, err := m.analyzer.Analyze(m.lts, profile)
+	index, err := m.shapeIndex(profile)
 	if err != nil {
 		return err
 	}
-	// Index findings by (transition, at-risk actor) so an observed event by
-	// that actor can be mapped to its risk level in O(1).
-	index := make(map[string]risk.Finding)
+	shard := m.shardFor(profile.ID)
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	shard.profiles[profile.ID] = profile
+	shard.cursors[profile.ID] = m.lts.InitialState()
+	shard.findings[profile.ID] = index
+	return nil
+}
+
+// shapeIndex returns the shared findings index for the profile's shape,
+// building it on first use. Registrations racing on a brand-new shape may
+// each derive the (cheap) lookup table, but the expensive analysis beneath
+// is single-flighted by the assessment cache; the first inserted index wins
+// so all users of a shape share one table.
+func (m *Monitor) shapeIndex(profile risk.UserProfile) (findingsIndex, error) {
+	fp := profile.Fingerprint()
+	m.shapeMu.Lock()
+	index, ok := m.shapes[fp]
+	m.shapeMu.Unlock()
+	if ok {
+		m.shapeHits.Add(1)
+		return index, nil
+	}
+	m.shapeMisses.Add(1)
+	assessment, err := m.cache.Analyze(m.lts, profile)
+	if err != nil {
+		return nil, err
+	}
+	index = make(findingsIndex, len(assessment.Findings))
 	for _, f := range assessment.Findings {
-		key := transitionKey(f.Transition) + "\x00" + f.Actor
+		key := findingKey{tr: f.Transition, actor: f.Actor}
 		if existing, ok := index[key]; !ok || f.Risk > existing.Risk {
 			index[key] = f
 		}
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.profiles[profile.ID] = profile
-	m.cursors[profile.ID] = m.lts.InitialState()
-	m.findings[profile.ID] = index
-	return nil
+	m.shapeMu.Lock()
+	if existing, ok := m.shapes[fp]; ok {
+		index = existing
+	} else {
+		m.shapes[fp] = index
+	}
+	m.shapeMu.Unlock()
+	return index, nil
 }
 
 // Users returns the IDs of registered users, sorted.
 func (m *Monitor) Users() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, 0, len(m.profiles))
-	for id := range m.profiles {
-		out = append(out, id)
+	var out []string
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for id := range s.profiles {
+			out = append(out, id)
+		}
+		s.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
@@ -170,9 +291,10 @@ func (m *Monitor) Users() []string {
 
 // CurrentState returns the user's current privacy state.
 func (m *Monitor) CurrentState(userID string) (lts.StateID, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	id, ok := m.cursors[userID]
+	shard := m.shardFor(userID)
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	id, ok := shard.cursors[userID]
 	return id, ok
 }
 
@@ -185,19 +307,27 @@ func (m *Monitor) CurrentVector(userID string) (core.StateVector, bool) {
 	return m.lts.Vector(id)
 }
 
-// Alerts returns a copy of every alert raised so far.
+// Alerts returns a copy of every alert raised so far, in the order they were
+// raised.
 func (m *Monitor) Alerts() []Alert {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]Alert, len(m.alerts))
-	copy(out, m.alerts)
+	var out []Alert
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		out = append(out, s.alerts...)
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
 	return out
 }
 
 // AlertsFor returns the alerts concerning one user.
 func (m *Monitor) AlertsFor(userID string) []Alert {
+	shard := m.shardFor(userID)
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
 	var out []Alert
-	for _, a := range m.Alerts() {
+	for _, a := range shard.alerts {
 		if a.UserID == userID {
 			out = append(out, a)
 		}
@@ -209,10 +339,11 @@ func (m *Monitor) AlertsFor(userID string) []Alert {
 // observation. Events for unregistered users are an error; callers decide
 // whether that is fatal (tests) or just logged (live deployments).
 func (m *Monitor) Observe(ev service.Event) (Observation, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	shard := m.shardFor(ev.UserID)
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
 
-	cursor, ok := m.cursors[ev.UserID]
+	cursor, ok := shard.cursors[ev.UserID]
 	if !ok {
 		return Observation{}, fmt.Errorf("runtime: user %q is not registered with the monitor", ev.UserID)
 	}
@@ -226,12 +357,11 @@ func (m *Monitor) Observe(ev service.Event) (Observation, error) {
 			Message: fmt.Sprintf("access-control denied %s by %q on %s.%v",
 				ev.Action, ev.Actor, ev.Datastore, ev.Fields),
 		}
-		m.alerts = append(m.alerts, alert)
-		obs.Alerts = append(obs.Alerts, alert)
+		m.raise(shard, &obs, alert)
 		return obs, nil
 	}
 
-	transition, matched := m.matchTransition(cursor, ev)
+	transition, matched := m.index.match(cursor, ev)
 	if !matched {
 		alert := Alert{
 			Kind:   AlertUnmodelled,
@@ -240,12 +370,11 @@ func (m *Monitor) Observe(ev service.Event) (Observation, error) {
 			Message: fmt.Sprintf("observed %s of %v by %q on %q has no matching transition from state %s; the design model and the running system disagree",
 				ev.Action, ev.Fields, ev.Actor, ev.Datastore, cursor),
 		}
-		m.alerts = append(m.alerts, alert)
-		obs.Alerts = append(obs.Alerts, alert)
+		m.raise(shard, &obs, alert)
 		return obs, nil
 	}
 
-	m.cursors[ev.UserID] = transition.To
+	shard.cursors[ev.UserID] = transition.To
 	obs.Matched = true
 	obs.Transition = transition
 	obs.To = transition.To
@@ -255,7 +384,7 @@ func (m *Monitor) Observe(ev service.Event) (Observation, error) {
 	// else is design-time knowledge (already in the static assessment), while
 	// the non-allowed actor actually reading the data is a live disclosure
 	// event.
-	if finding, ok := m.findings[ev.UserID][transitionKey(transition)+"\x00"+ev.Actor]; ok &&
+	if finding, ok := shard.findings[ev.UserID][findingKey{tr: transition, actor: ev.Actor}]; ok &&
 		finding.Risk >= m.alertAt {
 		alert := Alert{
 			Kind:    AlertRisk,
@@ -265,69 +394,66 @@ func (m *Monitor) Observe(ev service.Event) (Observation, error) {
 			Finding: finding,
 			Message: fmt.Sprintf("%s-risk disclosure event for user %q: %s", finding.Risk, ev.UserID, finding.Explanation),
 		}
-		m.alerts = append(m.alerts, alert)
-		obs.Alerts = append(obs.Alerts, alert)
+		m.raise(shard, &obs, alert)
 	}
 	return obs, nil
 }
 
-// matchTransition finds an outgoing transition of the cursor state matching
-// the event: same action, same actor, same datastore, and the event's fields
-// covered by the transition's fields (a read of a subset of the modelled
-// fields still matches). Declared flows are preferred over potential reads.
-func (m *Monitor) matchTransition(cursor lts.StateID, ev service.Event) (lts.Transition, bool) {
-	var potentialMatch lts.Transition
-	var havePotential bool
-	for _, tr := range m.lts.Graph.Outgoing(cursor) {
-		label := core.LabelOf(tr)
-		if label == nil {
-			continue
-		}
-		if label.Action != ev.Action || label.Actor != ev.Actor {
-			continue
-		}
-		if label.Datastore != ev.Datastore {
-			continue
-		}
-		if !fieldsCovered(label.Fields, ev.Fields) {
-			continue
-		}
-		if !label.Potential {
-			return tr, true
-		}
-		if !havePotential {
-			potentialMatch = tr
-			havePotential = true
-		}
-	}
-	return potentialMatch, havePotential
+// raise stamps the alert with the next monitor-wide sequence number and
+// records it on the shard and the observation. The caller holds shard.mu.
+func (m *Monitor) raise(shard *monitorShard, obs *Observation, alert Alert) {
+	alert.seq = m.alertSeq.Add(1)
+	shard.alerts = append(shard.alerts, alert)
+	obs.Alerts = append(obs.Alerts, alert)
 }
 
-// fieldsCovered reports whether every observed field is part of the labelled
-// field set.
-func fieldsCovered(labelFields, eventFields []string) bool {
-	if len(eventFields) == 0 {
-		return false
-	}
-	set := make(map[string]bool, len(labelFields))
-	for _, f := range labelFields {
-		set[f] = true
-	}
-	for _, f := range eventFields {
-		if !set[f] {
-			return false
+// observeBatchThreshold is the batch size below which ObserveBatch runs
+// inline: spawning goroutines costs more than a handful of map operations.
+const observeBatchThreshold = 32
+
+// ObserveBatch feeds a slice of events to the monitor, processing the shards
+// they hash to in parallel while preserving the relative order of each
+// user's events. The returned observations align with the input slice.
+// Events for unregistered users yield a zero Observation and contribute to
+// the joined error; the remaining events are still processed.
+func (m *Monitor) ObserveBatch(events []service.Event) ([]Observation, error) {
+	out := make([]Observation, len(events))
+	errs := make([]error, len(events))
+	observe := func(i int) {
+		obs, err := m.Observe(events[i])
+		out[i] = obs
+		if err != nil {
+			errs[i] = fmt.Errorf("event %d: %w", i, err)
 		}
 	}
-	return true
-}
-
-// transitionKey identifies a transition for the findings index.
-func transitionKey(tr lts.Transition) string {
-	label := ""
-	if tr.Label != nil {
-		label = tr.Label.LabelString()
+	if len(m.shards) == 1 || len(events) < observeBatchThreshold {
+		for i := range events {
+			observe(i)
+		}
+		return out, errors.Join(errs...)
 	}
-	return strings.Join([]string{string(tr.From), string(tr.To), label}, "\x00")
+	// Same user => same shard => same bucket, processed in input order, so
+	// per-user observation sequences are independent of the fan-out.
+	buckets := make([][]int, len(m.shards))
+	for i, ev := range events {
+		idx := m.shardIndexFor(ev.UserID)
+		buckets[idx] = append(buckets[idx], i)
+	}
+	var wg sync.WaitGroup
+	for _, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				observe(i)
+			}
+		}(bucket)
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
 }
 
 // Watch consumes events from the channel until it is closed, observing each
@@ -345,4 +471,21 @@ func (m *Monitor) Watch(events <-chan service.Event) int {
 		_, _ = m.Observe(ev)
 	}
 	return n
+}
+
+// WatchBatched is Watch with batched ingestion: it blocks for the first
+// pending event, drains up to batchSize-1 more without blocking
+// (service.NextBatch), and feeds the batch through ObserveBatch so a burst
+// of events for different users is absorbed by multiple shards at once. It
+// returns the number of events observed.
+func (m *Monitor) WatchBatched(events <-chan service.Event, batchSize int) int {
+	n := 0
+	for {
+		batch := service.NextBatch(events, batchSize)
+		if len(batch) == 0 {
+			return n
+		}
+		n += len(batch)
+		_, _ = m.ObserveBatch(batch)
+	}
 }

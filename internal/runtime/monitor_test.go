@@ -29,22 +29,10 @@ func surgeryMonitor(t testing.TB) (*core.PrivacyLTS, *runtime.Monitor) {
 }
 
 // medicalServiceEvents returns the runtime events of one full execution of
-// the medical service for the given user, in flow order.
+// the medical service for the given user, in flow order (the shared
+// case-study fixture).
 func medicalServiceEvents(userID string) []service.Event {
-	return []service.Event{
-		{Actor: casestudy.ActorReceptionist, Action: core.ActionCollect, UserID: userID,
-			Fields: []string{casestudy.FieldName, casestudy.FieldDateOfBirth}},
-		{Actor: casestudy.ActorReceptionist, Action: core.ActionCreate, Datastore: casestudy.StoreAppointments, UserID: userID,
-			Fields: []string{casestudy.FieldName, casestudy.FieldDateOfBirth, casestudy.FieldAppointment}},
-		{Actor: casestudy.ActorDoctor, Action: core.ActionRead, Datastore: casestudy.StoreAppointments, UserID: userID,
-			Fields: []string{casestudy.FieldName, casestudy.FieldDateOfBirth, casestudy.FieldAppointment}},
-		{Actor: casestudy.ActorDoctor, Action: core.ActionCollect, UserID: userID,
-			Fields: []string{casestudy.FieldMedicalIssues}},
-		{Actor: casestudy.ActorDoctor, Action: core.ActionCreate, Datastore: casestudy.StoreEHR, UserID: userID,
-			Fields: []string{casestudy.FieldName, casestudy.FieldDateOfBirth, casestudy.FieldMedicalIssues, casestudy.FieldDiagnosis, casestudy.FieldTreatment}},
-		{Actor: casestudy.ActorNurse, Action: core.ActionRead, Datastore: casestudy.StoreEHR, UserID: userID,
-			Fields: []string{casestudy.FieldName, casestudy.FieldTreatment}},
-	}
+	return casestudy.MedicalServiceEvents(userID)
 }
 
 func TestNewMonitorValidation(t *testing.T) {

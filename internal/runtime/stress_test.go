@@ -1,0 +1,133 @@
+package runtime_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"privascope/internal/casestudy"
+	"privascope/internal/core"
+	"privascope/internal/runtime"
+)
+
+// TestMonitorConcurrentStress hammers one monitor per shard count with
+// concurrent RegisterUser / Observe / Alerts / Users / CurrentVector calls
+// (run under -race in CI). Each user's events are fed in order by a
+// dedicated goroutine, so the per-user alert multiset is deterministic; the
+// test asserts the full sorted alert set is identical for 1, 4 and 16
+// shards, i.e. lock striping never loses, duplicates or reorders a user's
+// alerts.
+func TestMonitorConcurrentStress(t *testing.T) {
+	p, err := core.Generate(casestudy.Surgery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const numUsers = 48
+	users := make([]string, numUsers)
+	for i := range users {
+		users[i] = fmt.Sprintf("patient-%d", i)
+	}
+
+	runWith := func(shards int) []string {
+		monitor, err := runtime.NewMonitor(p, runtime.Config{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Phase 1: concurrent registration (the assessment cache and shape
+		// index are exercised by racing same-shaped registrations).
+		var wg sync.WaitGroup
+		for _, id := range users {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				profile := casestudy.PatientProfile()
+				profile.ID = id
+				if err := monitor.RegisterUser(profile); err != nil {
+					t.Error(err)
+				}
+			}(id)
+		}
+		wg.Wait()
+		// Concurrent first registrations of a brand-new shape may each miss
+		// the index memo (the expensive analysis is still single-flighted by
+		// the assessment cache), so only the total and "at least one miss,
+		// not all misses" are deterministic here.
+		hits, misses := monitor.AssessmentCacheStats()
+		if hits+misses != numUsers || misses < 1 {
+			t.Errorf("shards=%d: cache stats hits=%d misses=%d, want them to sum to %d with >=1 miss",
+				shards, hits, misses, numUsers)
+		}
+
+		// Phase 2: one goroutine per user replays that user's script while
+		// readers poll the aggregate views concurrently.
+		stop := make(chan struct{})
+		var readers sync.WaitGroup
+		for r := 0; r < 4; r++ {
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						_ = monitor.Alerts()
+						_ = monitor.Users()
+						_, _ = monitor.CurrentVector(users[0])
+					}
+				}
+			}()
+		}
+		for i, id := range users {
+			wg.Add(1)
+			go func(i int, id string) {
+				defer wg.Done()
+				for _, ev := range medicalServiceEvents(id) {
+					if _, err := monitor.Observe(ev); err != nil {
+						t.Error(err)
+					}
+				}
+				// Every third user triggers the risky administrator read; the
+				// others probe unmodelled behaviour.
+				extra := medicalServiceEvents(id)[0]
+				if i%3 == 0 {
+					extra.Actor = casestudy.ActorAdministrator
+					extra.Action = core.ActionRead
+					extra.Datastore = casestudy.StoreEHR
+					extra.Fields = []string{casestudy.FieldDiagnosis}
+				} else {
+					extra.Actor = casestudy.ActorResearcher
+					extra.Action = core.ActionRead
+					extra.Datastore = casestudy.StoreEHR
+					extra.Fields = []string{casestudy.FieldDiagnosis}
+				}
+				if _, err := monitor.Observe(extra); err != nil {
+					t.Error(err)
+				}
+			}(i, id)
+		}
+		wg.Wait()
+		close(stop)
+		readers.Wait()
+
+		if got := monitor.Users(); len(got) != numUsers {
+			t.Errorf("shards=%d: Users() = %d users, want %d", shards, len(got), numUsers)
+		}
+		summaries := alertSummaries(monitor.Alerts())
+		sort.Strings(summaries)
+		return summaries
+	}
+
+	baseline := runWith(1)
+	if len(baseline) != numUsers {
+		t.Fatalf("baseline alert count = %d, want %d (one per user)", len(baseline), numUsers)
+	}
+	for _, shards := range []int{4, 16} {
+		if got := runWith(shards); !reflect.DeepEqual(got, baseline) {
+			t.Errorf("shards=%d: sorted alert set differs from single-shard baseline", shards)
+		}
+	}
+}

@@ -107,6 +107,36 @@ func (l *Log) Len() int {
 	return len(l.events)
 }
 
+// NextBatch collects the next batch of events from a subscription channel:
+// it blocks until at least one event is available (or the channel is
+// closed), then drains up to max-1 further events without blocking. A nil
+// return means the channel is closed and drained. Consumers that process
+// events in bulk — such as the runtime monitor's WatchBatched — use it to
+// absorb bursts in one pass instead of one channel receive per event.
+func NextBatch(events <-chan Event, max int) []Event {
+	if max <= 0 {
+		max = 64
+	}
+	ev, ok := <-events
+	if !ok {
+		return nil
+	}
+	batch := make([]Event, 1, max)
+	batch[0] = ev
+	for len(batch) < max {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, ev)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
 // Subscribe returns a channel receiving future events and a cancel function
 // that must be called to release the subscription. The buffer bounds how many
 // undelivered events may be pending before new ones are dropped for this

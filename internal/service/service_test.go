@@ -74,6 +74,40 @@ func TestLogAppendAndSubscribe(t *testing.T) {
 	}
 }
 
+func TestNextBatch(t *testing.T) {
+	ch := make(chan service.Event, 8)
+	for i := 0; i < 5; i++ {
+		ch <- service.Event{Seq: int64(i + 1)}
+	}
+	// Blocks for the first event, then drains without blocking up to max.
+	batch := service.NextBatch(ch, 3)
+	if len(batch) != 3 || batch[0].Seq != 1 || batch[2].Seq != 3 {
+		t.Fatalf("NextBatch = %+v, want events 1..3", batch)
+	}
+	// Remaining events, fewer than max: returns what is pending.
+	batch = service.NextBatch(ch, 10)
+	if len(batch) != 2 || batch[0].Seq != 4 {
+		t.Fatalf("NextBatch = %+v, want events 4..5", batch)
+	}
+	// max <= 0 selects a sane default instead of panicking.
+	ch <- service.Event{Seq: 6}
+	if batch = service.NextBatch(ch, 0); len(batch) != 1 || batch[0].Seq != 6 {
+		t.Fatalf("NextBatch(max=0) = %+v", batch)
+	}
+	// Closed and drained: nil.
+	close(ch)
+	if batch = service.NextBatch(ch, 4); batch != nil {
+		t.Fatalf("NextBatch on closed channel = %+v, want nil", batch)
+	}
+	// Closing mid-drain returns the partial batch.
+	ch2 := make(chan service.Event, 2)
+	ch2 <- service.Event{Seq: 1}
+	close(ch2)
+	if batch = service.NextBatch(ch2, 8); len(batch) != 1 {
+		t.Fatalf("NextBatch on closing channel = %+v, want the one event", batch)
+	}
+}
+
 func TestLogConcurrentAppend(t *testing.T) {
 	log := service.NewLog()
 	var wg sync.WaitGroup

@@ -356,6 +356,28 @@ func NewMonitor(p *PrivacyModel, cfg MonitorConfig) (*Monitor, error) {
 	return runtime.NewMonitor(p, cfg)
 }
 
+// AssessmentCache deduplicates risk assessments across users with identical
+// profile shapes; see risk.AssessmentCache.
+type AssessmentCache = risk.AssessmentCache
+
+// NewAssessmentCache wraps a disclosure-risk analyzer (nil for defaults)
+// with a profile-fingerprint cache, so populations of same-shaped users are
+// analysed once.
+func NewAssessmentCache(cfg RiskConfig) (*AssessmentCache, error) {
+	analyzer, err := risk.NewAnalyzer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return risk.NewAssessmentCache(analyzer)
+}
+
+// NextEventBatch collects the next batch of events from a subscription
+// channel: it blocks for the first event, then drains up to max-1 more
+// without blocking. A nil return means the channel is closed and drained.
+func NextEventBatch(events <-chan Event, max int) []Event {
+	return service.NextBatch(events, max)
+}
+
 // StartCluster starts one HTTP datastore server per datastore of the model on
 // local ports, sharing a single event log.
 func StartCluster(m *Model) (*Cluster, error) { return service.StartCluster(m) }
