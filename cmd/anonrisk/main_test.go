@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bufio"
 	"errors"
+	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -140,5 +144,74 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-data", path, "-target", "weight", "-k", "2"}, &out); err == nil {
 		t.Error("-k without -quasi accepted")
+	}
+}
+
+// syntheticCSV writes a deterministic dataset with enough rows to cross the
+// parallel class-building threshold, mixing numeric, interval and
+// categorical cells.
+func syntheticCSV(t *testing.T, rows int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "synthetic.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "age,height,city,weight")
+	cities := []string{"berlin", "paris", "london", "madrid"}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < rows; i++ {
+		lo := 150 + 10*rng.Intn(4)
+		fmt.Fprintf(w, "%d,%d-%d,%s,%d\n",
+			20+10*rng.Intn(6), lo, lo+10, cities[rng.Intn(len(cities))], 45+rng.Intn(90))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOutputIdenticalAcrossWorkerCounts(t *testing.T) {
+	path := syntheticCSV(t, 3000)
+	outputs := make(map[int]string)
+	for _, workers := range []int{1, 4, 16} {
+		var out strings.Builder
+		err := run([]string{
+			"-data", path,
+			"-target", "weight",
+			"-closeness", "5",
+			"-scenarios", "height;age;age,height;city,age",
+			"-reident", "0.2",
+			"-quasi", "age,height",
+			"-workers", strconv.Itoa(workers),
+			"-max-rows", "50",
+		}, &out)
+		if err != nil {
+			t.Fatalf("run(workers=%d): %v", workers, err)
+		}
+		outputs[workers] = out.String()
+	}
+	if outputs[1] != outputs[4] {
+		t.Error("output differs between -workers 1 and 4")
+	}
+	if outputs[1] != outputs[16] {
+		t.Error("output differs between -workers 1 and 16")
+	}
+	if !strings.Contains(outputs[1], "more records") {
+		t.Error("-max-rows did not elide per-record rows")
+	}
+}
+
+func TestRunRejectsDuplicateHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup.csv")
+	if err := os.WriteFile(path, []byte("age,age\n23,24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-data", path, "-target", "age"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "duplicate CSV header") {
+		t.Errorf("error = %v, want duplicate-header rejection", err)
 	}
 }

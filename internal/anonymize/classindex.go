@@ -1,0 +1,295 @@
+package anonymize
+
+import (
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ClassIndex computes and caches the equivalence classes of one table. The
+// value-risk analysis partitions the same dataset once per scenario and once
+// more per attacker model; on a million-row table re-deriving those
+// partitions from scratch dominates the run. The index removes both costs:
+//
+//   - per-column group keys are computed once (in parallel) and shared by
+//     every partition that includes the column, so the scenario progression
+//     "height", "age", "age+height" renders each cell's key exactly once;
+//   - each distinct column set's classes are computed once and returned to
+//     every later caller — the re-identification attacker models, the
+//     LTS annotation's repeated at-risk states and the scenario scoring all
+//     hit the same entries.
+//
+// Class building fans out over contiguous row chunks: each worker groups its
+// chunk into a private hash map, and the chunk maps are merged in chunk
+// order, so member lists stay in ascending row order and the merged result
+// is byte-identical to the single-threaded Table.EquivalenceClasses output
+// for any worker count (the same merge discipline as the LTS generator's
+// sharded visited set).
+//
+// A ClassIndex is safe for concurrent use. The indexed table must not be
+// mutated while the index is alive; mutate a clone or build a fresh index
+// instead.
+type ClassIndex struct {
+	table   *Table
+	workers int
+
+	mu      sync.Mutex
+	colKeys map[int]*colKeysEntry
+	classes map[string]*classEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// colKeysEntry is the once-computed per-row group keys of one column.
+type colKeysEntry struct {
+	once sync.Once
+	keys []string
+}
+
+// classEntry is the once-computed class partition of one column set.
+type classEntry struct {
+	once    sync.Once
+	classes [][]int
+	err     error
+}
+
+// NewClassIndex builds an empty index over the table. workers sets the
+// parallelism of key computation and class building; zero or negative
+// selects runtime.GOMAXPROCS(0). The output is identical for any worker
+// count.
+func NewClassIndex(t *Table, workers int) *ClassIndex {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ClassIndex{
+		table:   t,
+		workers: workers,
+		colKeys: make(map[int]*colKeysEntry),
+		classes: make(map[string]*classEntry),
+	}
+}
+
+// Table returns the indexed table.
+func (ix *ClassIndex) Table() *Table { return ix.table }
+
+// Workers returns the configured worker count.
+func (ix *ClassIndex) Workers() int { return ix.workers }
+
+// Hits returns how many Classes calls were served from the cache.
+func (ix *ClassIndex) Hits() int64 { return ix.hits.Load() }
+
+// Misses returns how many Classes calls computed a fresh partition.
+func (ix *ClassIndex) Misses() int64 { return ix.misses.Load() }
+
+// Classes returns the equivalence classes of the rows over the given
+// columns, computing them at most once per distinct column sequence. The
+// result is shared between callers and must be treated as read-only. It is
+// identical to Table.EquivalenceClasses(columns) for the same column order.
+func (ix *ClassIndex) Classes(columns []string) ([][]int, error) {
+	idxs, err := ix.table.resolveColumns(columns)
+	if err != nil {
+		return nil, err
+	}
+	key := classCacheKey(idxs)
+	ix.mu.Lock()
+	entry, ok := ix.classes[key]
+	if !ok {
+		entry = &classEntry{}
+		ix.classes[key] = entry
+	}
+	ix.mu.Unlock()
+	if ok {
+		ix.hits.Add(1)
+	} else {
+		ix.misses.Add(1)
+	}
+	entry.once.Do(func() {
+		entry.classes = buildClassesKeyed(ix.table, idxs, ix.workers, ix.keysFor)
+	})
+	return entry.classes, entry.err
+}
+
+// classCacheKey canonically encodes a column index sequence. Column order
+// matters: it changes the composite keys and therefore the sorted order of
+// the returned groups.
+func classCacheKey(idxs []int) string {
+	var b strings.Builder
+	for i, idx := range idxs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(idx))
+	}
+	return b.String()
+}
+
+// keysFor returns the cached per-row group keys of one column, computing
+// them on first use with the index's worker pool.
+func (ix *ClassIndex) keysFor(col int) []string {
+	ix.mu.Lock()
+	entry, ok := ix.colKeys[col]
+	if !ok {
+		entry = &colKeysEntry{}
+		ix.colKeys[col] = entry
+	}
+	ix.mu.Unlock()
+	entry.once.Do(func() {
+		entry.keys = columnGroupKeys(ix.table, col, ix.workers)
+	})
+	return entry.keys
+}
+
+// columnGroupKeys renders GroupKey for every cell of one column, splitting
+// the rows across workers. Each worker writes a disjoint range, so the
+// result does not depend on scheduling.
+func columnGroupKeys(t *Table, col, workers int) []string {
+	n := t.nrows
+	keys := make([]string, n)
+	values := t.cols[col]
+	parallelRows(n, workers, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			keys[r] = values[r].GroupKey()
+		}
+	})
+	return keys
+}
+
+// buildClasses groups the rows by their composite group key over the given
+// column indices, computing keys directly from the cells.
+func buildClasses(t *Table, idxs []int, workers int) [][]int {
+	return buildClassesKeyed(t, idxs, workers, func(col int) []string {
+		return columnGroupKeys(t, col, workers)
+	})
+}
+
+// buildClassesKeyed is buildClasses with a pluggable per-column key source,
+// so a ClassIndex can share key slices across partitions.
+//
+// Grouping fans out over contiguous row chunks. Each worker fills a private
+// map for its chunk; the merge walks the chunk maps in chunk order, so every
+// key's member list is the concatenation of ascending sub-ranges — the exact
+// row order a sequential pass produces. Group order is sorted by key, as in
+// Table.EquivalenceClasses.
+func buildClassesKeyed(t *Table, idxs []int, workers int, keysFor func(col int) []string) [][]int {
+	n := t.nrows
+	if n == 0 {
+		return nil
+	}
+	// No grouping columns: every row is indistinguishable, one shared class.
+	if len(idxs) == 0 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+
+	colKeys := make([][]string, len(idxs))
+	for j, idx := range idxs {
+		colKeys[j] = keysFor(idx)
+	}
+	// Composite keys are length-prefixed so the encoding is injective: a
+	// separator character could appear inside a categorical value and alias
+	// two distinct rows into one class.
+	rowKey := func(r int) string {
+		if len(colKeys) == 1 {
+			return colKeys[0][r]
+		}
+		var b strings.Builder
+		for _, keys := range colKeys {
+			k := keys[r]
+			b.WriteString(strconv.Itoa(len(k)))
+			b.WriteByte(':')
+			b.WriteString(k)
+		}
+		return b.String()
+	}
+
+	chunks := rowChunks(n, workers)
+	chunkGroups := make([]map[string][]int, len(chunks))
+	var wg sync.WaitGroup
+	for c, chunk := range chunks {
+		wg.Add(1)
+		go func(c int, lo, hi int) {
+			defer wg.Done()
+			groups := make(map[string][]int)
+			for r := lo; r < hi; r++ {
+				key := rowKey(r)
+				groups[key] = append(groups[key], r)
+			}
+			chunkGroups[c] = groups
+		}(c, chunk[0], chunk[1])
+	}
+	wg.Wait()
+
+	// Deterministic merge: chunk maps are walked in chunk order, so member
+	// sub-lists concatenate in ascending row order; groups sort by key.
+	merged := make(map[string][]int, len(chunkGroups[0]))
+	keys := make([]string, 0, len(chunkGroups[0]))
+	for _, groups := range chunkGroups {
+		for key, rows := range groups {
+			if _, ok := merged[key]; !ok {
+				keys = append(keys, key)
+			}
+			merged[key] = append(merged[key], rows...)
+		}
+	}
+	sort.Strings(keys)
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, merged[k])
+	}
+	return out
+}
+
+// rowChunks splits [0, n) into up to `workers` contiguous ranges of
+// near-equal size. Returned as [lo, hi) pairs in ascending order.
+func rowChunks(n, workers int) [][2]int {
+	if workers <= 1 || n < 2*minChunkRows {
+		return [][2]int{{0, n}}
+	}
+	chunkCount := workers
+	if max := n / minChunkRows; chunkCount > max {
+		chunkCount = max
+	}
+	out := make([][2]int, 0, chunkCount)
+	size := n / chunkCount
+	rem := n % chunkCount
+	lo := 0
+	for c := 0; c < chunkCount; c++ {
+		hi := lo + size
+		if c < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// minChunkRows keeps tiny tables on the sequential path: below this many
+// rows per chunk the goroutine handoff costs more than the grouping.
+const minChunkRows = 1024
+
+// parallelRows runs fn over contiguous sub-ranges of [0, n) using up to
+// `workers` goroutines. fn must only touch its own range.
+func parallelRows(n, workers int, fn func(lo, hi int)) {
+	chunks := rowChunks(n, workers)
+	if len(chunks) == 1 {
+		fn(chunks[0][0], chunks[0][1])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, chunk := range chunks {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(chunk[0], chunk[1])
+	}
+	wg.Wait()
+}

@@ -1,0 +1,404 @@
+package anonymize
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// classTestTable builds a deterministic mixed-kind table large enough to
+// exercise the chunked parallel path (several chunks at minChunkRows).
+func classTestTable(rows int) *Table {
+	rng := rand.New(rand.NewSource(7))
+	countries := []string{"de", "fr", "uk", "es", "it", "nl", "pl", "se"}
+	t := MustTable(
+		Column{Name: "age", Role: RoleQuasiIdentifier},
+		Column{Name: "height", Role: RoleQuasiIdentifier},
+		Column{Name: "country", Role: RoleQuasiIdentifier},
+		Column{Name: "weight", Role: RoleSensitive},
+	)
+	for i := 0; i < rows; i++ {
+		age := Num(float64(18 + rng.Intn(70)))
+		if rng.Intn(50) == 0 {
+			age = Suppressed()
+		}
+		t.MustAddRow(
+			age,
+			Interval(float64(150+10*rng.Intn(5)), float64(160+10*rng.Intn(5))),
+			Cat(countries[rng.Intn(len(countries))]),
+			Num(float64(45+rng.Intn(90))),
+		)
+	}
+	return t
+}
+
+func TestClassIndexMatchesSequentialAcrossWorkerCounts(t *testing.T) {
+	tbl := classTestTable(4 * minChunkRows)
+	columnSets := [][]string{
+		{"age"},
+		{"country"},
+		{"age", "height"},
+		{"height", "age"}, // column order changes group order; both must match sequential
+		{"age", "height", "country"},
+	}
+	for _, columns := range columnSets {
+		want, err := tbl.EquivalenceClasses(columns)
+		if err != nil {
+			t.Fatalf("EquivalenceClasses(%v): %v", columns, err)
+		}
+		for _, workers := range []int{1, 2, 4, 16} {
+			ix := NewClassIndex(tbl, workers)
+			got, err := ix.Classes(columns)
+			if err != nil {
+				t.Fatalf("Classes(%v) workers=%d: %v", columns, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("Classes(%v) workers=%d diverges from sequential: %d vs %d groups",
+					columns, workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestClassIndexCachesPartitions(t *testing.T) {
+	tbl := classTestTable(100)
+	ix := NewClassIndex(tbl, 4)
+	first, err := ix.Classes([]string{"age", "height"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ix.Classes([]string{"age", "height"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0][0] != &second[0][0] {
+		t.Error("repeated Classes call did not return the cached partition")
+	}
+	if ix.Hits() != 1 || ix.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d, want 1 and 1", ix.Hits(), ix.Misses())
+	}
+	// A different column order is a different partition order: distinct entry.
+	if _, err := ix.Classes([]string{"height", "age"}); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Misses() != 2 {
+		t.Errorf("misses=%d after reordered columns, want 2", ix.Misses())
+	}
+	if _, err := ix.Classes([]string{"ghost"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestClassIndexEmptyAndDegenerateTables(t *testing.T) {
+	empty := MustTable(Column{Name: "a"})
+	ix := NewClassIndex(empty, 8)
+	classes, err := ix.Classes([]string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 0 {
+		t.Errorf("empty table produced %d classes", len(classes))
+	}
+
+	single := MustTable(Column{Name: "a"})
+	single.MustAddRow(Num(1))
+	classes, err = NewClassIndex(single, 8).Classes([]string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 1 || len(classes[0]) != 1 || classes[0][0] != 0 {
+		t.Errorf("single-row table classes = %v", classes)
+	}
+}
+
+func TestValueRisksIdenticalAcrossWorkerCounts(t *testing.T) {
+	tbl := classTestTable(3 * minChunkRows)
+	anon, err := Spec{"age": NumericBinning{Width: 10}, "height": NumericBinning{Width: 20}}.Apply(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ValueRiskOptions{
+		VisibleColumns: []string{"age", "height", "country"},
+		TargetColumn:   "weight",
+		Closeness:      5,
+	}
+	want, err := ValueRisks(anon, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		opts := base
+		opts.Workers = workers
+		opts.Index = NewClassIndex(anon, workers)
+		got, err := ValueRisks(anon, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d risks diverge from sequential", workers)
+		}
+	}
+}
+
+func TestValueRisksRejectsForeignIndex(t *testing.T) {
+	a := classTestTable(10)
+	b := classTestTable(10)
+	_, err := ValueRisks(a, ValueRiskOptions{
+		TargetColumn: "weight",
+		Index:        NewClassIndex(b, 1),
+	})
+	if err == nil {
+		t.Error("index over a different table accepted")
+	}
+}
+
+func TestReidentificationRiskIndexedMatchesUnindexed(t *testing.T) {
+	tbl := classTestTable(2000)
+	anon, err := Spec{"age": NumericBinning{Width: 10}}.Apply(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReidentificationRisk(anon, []string{"age", "country"}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewClassIndex(anon, 8)
+	got, err := ReidentificationRiskIndexed(ix, []string{"age", "country"}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("indexed re-identification risk diverges from unindexed")
+	}
+	if _, err := ReidentificationRiskIndexed(nil, []string{"age"}, 0.2); err == nil {
+		t.Error("nil index accepted")
+	}
+}
+
+func TestRowChunksCoverAllRows(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {minChunkRows, 4}, {2*minChunkRows + 1, 4}, {10 * minChunkRows, 3}, {100, 1},
+	} {
+		chunks := rowChunks(tc.n, tc.workers)
+		next := 0
+		for _, c := range chunks {
+			if c[0] != next {
+				t.Fatalf("n=%d workers=%d: chunk starts at %d, want %d", tc.n, tc.workers, c[0], next)
+			}
+			if c[1] < c[0] {
+				t.Fatalf("n=%d workers=%d: inverted chunk %v", tc.n, tc.workers, c)
+			}
+			next = c[1]
+		}
+		if next != tc.n {
+			t.Fatalf("n=%d workers=%d: chunks cover [0,%d), want [0,%d)", tc.n, tc.workers, next, tc.n)
+		}
+	}
+}
+
+func TestInternerPoolsRepeatedCells(t *testing.T) {
+	in := NewInterner()
+	a := in.Parse("berlin")
+	b := in.Parse("berlin")
+	if a != b {
+		t.Error("repeated cell parsed to different values")
+	}
+	if in.Size() != 1 {
+		t.Errorf("pool size = %d, want 1", in.Size())
+	}
+	if v := in.Parse("41.5"); v.Kind != KindNumeric || v.Num != 41.5 {
+		t.Errorf("numeric cell = %v", v)
+	}
+	if v := in.Parse("30-40"); v.Kind != KindInterval || v.Lo != 30 || v.Hi != 40 {
+		t.Errorf("interval cell = %v", v)
+	}
+	if v := in.Parse("*"); !v.IsSuppressed() {
+		t.Errorf("suppressed cell = %v", v)
+	}
+	if in.Size() != 4 {
+		t.Errorf("pool size = %d, want 4", in.Size())
+	}
+}
+
+func TestInternerDetachesFromCallerBuffer(t *testing.T) {
+	buf := []byte("madrid")
+	in := NewInterner()
+	v := in.Parse(string(buf))
+	copy(buf, "XXXXXX")
+	if v.Str != "madrid" {
+		t.Errorf("pooled value aliased the caller's buffer: %q", v.Str)
+	}
+	if got := in.Parse("madrid"); got != v {
+		t.Error("pool key aliased the caller's buffer")
+	}
+}
+
+func TestEquivalenceClassesLargeTableParallelConsistency(t *testing.T) {
+	// End-to-end sanity on a table big enough for >= 4 chunks: every row
+	// appears in exactly one class, and classes are internally consistent.
+	tbl := classTestTable(4 * minChunkRows)
+	ix := NewClassIndex(tbl, 8)
+	classes, err := ix.Classes([]string{"age", "country"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool, tbl.NumRows())
+	for _, class := range classes {
+		key := ""
+		for i, r := range class {
+			if seen[r] {
+				t.Fatalf("row %d in two classes", r)
+			}
+			seen[r] = true
+			age, _ := tbl.Value(r, "age")
+			country, _ := tbl.Value(r, "country")
+			k := age.GroupKey() + "|" + country.GroupKey()
+			if i == 0 {
+				key = k
+			} else if k != key {
+				t.Fatalf("class mixes keys %q and %q", key, k)
+			}
+		}
+	}
+	if len(seen) != tbl.NumRows() {
+		t.Fatalf("classes cover %d rows, want %d", len(seen), tbl.NumRows())
+	}
+}
+
+func ExampleClassIndex() {
+	tbl := MustTable(
+		Column{Name: "age", Role: RoleQuasiIdentifier},
+		Column{Name: "weight", Role: RoleSensitive},
+	)
+	for _, row := range [][2]float64{{23, 50}, {23, 55}, {34, 70}, {34, 72}} {
+		tbl.MustAddRow(Num(row[0]), Num(row[1]))
+	}
+	ix := NewClassIndex(tbl, 4)
+	classes, _ := ix.Classes([]string{"age"})
+	fmt.Println(len(classes), "classes")
+	classes2, _ := ix.Classes([]string{"age"}) // served from cache
+	fmt.Println(len(classes2), "classes,", ix.Hits(), "cache hit")
+	// Output:
+	// 2 classes
+	// 2 classes, 1 cache hit
+}
+
+func TestScoreClassFastPathMatchesQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Mixed-kind classes straddling the quadratic cutoff, including exact
+	// boundary hits at distance == closeness.
+	makeValue := func() Value {
+		switch rng.Intn(6) {
+		case 0:
+			return Cat([]string{"a", "b", "c"}[rng.Intn(3)])
+		case 1:
+			return Suppressed()
+		case 2:
+			lo := float64(rng.Intn(20))
+			return Interval(lo, lo+float64(rng.Intn(10)))
+		default:
+			return Num(float64(rng.Intn(30)))
+		}
+	}
+	for _, size := range []int{1, 2, quadraticClassCutoff, quadraticClassCutoff + 1, 200, 1000} {
+		for _, closeness := range []float64{0, 1, 5} {
+			target := make([]Value, size)
+			class := make([]int, size)
+			for i := range target {
+				target[i] = makeValue()
+				class[i] = i
+			}
+			want := make([]ValueRisk, size)
+			scoreClassQuadratic(want, class, target, closeness)
+			got := make([]ValueRisk, size)
+			scoreClassInto(got, class, target, closeness)
+			if !reflect.DeepEqual(got, want) {
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("size=%d closeness=%v row %d (%v): fast=%+v quadratic=%+v",
+							size, closeness, i, target[i], got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScoreClassInvertedIntervalFallsBack(t *testing.T) {
+	// An interval parsed from "50-30" is inverted; the fast path must defer
+	// to the exact pairwise scan for the whole class.
+	size := 2 * quadraticClassCutoff
+	target := make([]Value, size)
+	class := make([]int, size)
+	for i := range target {
+		target[i] = Num(float64(i))
+		class[i] = i
+	}
+	target[7] = Interval(50, 30)
+	want := make([]ValueRisk, size)
+	scoreClassQuadratic(want, class, target, 5)
+	got := make([]ValueRisk, size)
+	scoreClassInto(got, class, target, 5)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("inverted-interval class diverges from quadratic reference")
+	}
+}
+
+func TestScoreClassNaNValues(t *testing.T) {
+	size := 2 * quadraticClassCutoff
+	target := make([]Value, size)
+	class := make([]int, size)
+	for i := range target {
+		target[i] = Num(float64(i % 10))
+		class[i] = i
+	}
+	target[3] = Num(math.NaN())
+	want := make([]ValueRisk, size)
+	scoreClassQuadratic(want, class, target, 1)
+	got := make([]ValueRisk, size)
+	scoreClassInto(got, class, target, 1)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("NaN-valued class diverges from quadratic reference")
+	}
+	if got[3].Frequency != 0 {
+		t.Errorf("NaN record frequency = %d, want 0", got[3].Frequency)
+	}
+}
+
+func TestScoreClassFloatRoundingEdge(t *testing.T) {
+	// At 1e16 the additions fl(hi+c) and subtractions fl(lo-c) round
+	// differently; the fast path must evaluate exactly the float expressions
+	// Close uses or it disagrees with the pairwise reference here.
+	size := 2 * quadraticClassCutoff
+	target := make([]Value, size)
+	class := make([]int, size)
+	for i := range target {
+		target[i] = Num(1e16)
+		class[i] = i
+	}
+	target[1] = Num(1e16 + 2)
+	want := make([]ValueRisk, size)
+	scoreClassQuadratic(want, class, target, 1.0)
+	got := make([]ValueRisk, size)
+	scoreClassInto(got, class, target, 1.0)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fast path diverges at the rounding edge: fast=%+v quadratic=%+v", got[1], want[1])
+	}
+}
+
+func TestEquivalenceClassesSeparatorInjective(t *testing.T) {
+	// Categorical values containing a would-be separator must not alias two
+	// distinct rows into one class.
+	tbl := MustTable(Column{Name: "a"}, Column{Name: "b"})
+	tbl.MustAddRow(Cat("x|categorical:y"), Cat("z"))
+	tbl.MustAddRow(Cat("x"), Cat("y|categorical:z"))
+	classes, err := tbl.EquivalenceClasses([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 2 {
+		t.Fatalf("aliased rows merged: %v", classes)
+	}
+}

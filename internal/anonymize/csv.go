@@ -16,20 +16,33 @@ type ColumnSpec map[string]ColumnRole
 // cell is parsed with ParseValue, so numbers become numeric values, "lo-hi"
 // becomes an interval, "*" a suppressed cell, and everything else a
 // category.
+//
+// The input is streamed record-at-a-time into the table's column-oriented
+// storage — the whole file is never buffered — and cells are pooled through
+// an Interner, so repeated categorical cells share one string allocation.
+// Duplicate header column names are rejected (a duplicate would make every
+// lookup silently resolve to the first column of that name), as are ragged
+// rows whose cell count differs from the header's.
 func ReadCSV(r io.Reader, spec ColumnSpec) (*Table, error) {
 	reader := csv.NewReader(r)
 	reader.TrimLeadingSpace = true
-	records, err := reader.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("anonymize: reading CSV: %w", err)
-	}
-	if len(records) == 0 {
+	reader.ReuseRecord = true
+
+	header, err := reader.Read()
+	if err == io.EOF {
 		return nil, fmt.Errorf("anonymize: CSV input is empty")
 	}
-	header := records[0]
+	if err != nil {
+		return nil, fmt.Errorf("anonymize: reading CSV header: %w", err)
+	}
 	columns := make([]Column, len(header))
+	seen := make(map[string]int, len(header))
 	for i, name := range header {
-		name = strings.TrimSpace(name)
+		name = strings.Clone(strings.TrimSpace(name))
+		if first, dup := seen[name]; dup {
+			return nil, fmt.Errorf("anonymize: duplicate CSV header column %q (columns %d and %d); every column lookup would resolve to the first one only", name, first+1, i+1)
+		}
+		seen[name] = i
 		role := RoleStandard
 		if spec != nil {
 			if r, ok := spec[name]; ok {
@@ -42,17 +55,23 @@ func ReadCSV(r io.Reader, spec ColumnSpec) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, record := range records[1:] {
-		if len(record) != len(header) {
-			return nil, fmt.Errorf("anonymize: CSV row %d has %d cells, header has %d", i+1, len(record), len(header))
+
+	pool := NewInterner()
+	for row := 1; ; row++ {
+		record, err := reader.Read()
+		if err == io.EOF {
+			break
 		}
-		values := make([]Value, len(record))
-		for j, cell := range record {
-			values[j] = ParseValue(cell)
+		if err != nil {
+			// encoding/csv reports ragged rows (ErrFieldCount, measured
+			// against the header record) and quoting problems here; wrap
+			// with the data row number for context.
+			return nil, fmt.Errorf("anonymize: CSV row %d: %w", row, err)
 		}
-		if err := t.AddRow(values...); err != nil {
-			return nil, err
+		for i, cell := range record {
+			t.cols[i] = append(t.cols[i], pool.Parse(cell))
 		}
+		t.nrows++
 	}
 	return t, nil
 }
@@ -63,14 +82,10 @@ func WriteCSV(w io.Writer, t *Table) error {
 	if err := writer.Write(t.ColumnNames()); err != nil {
 		return fmt.Errorf("anonymize: writing CSV header: %w", err)
 	}
-	for r := 0; r < t.NumRows(); r++ {
-		row, err := t.Row(r)
-		if err != nil {
-			return err
-		}
-		cells := make([]string, len(row))
-		for i, v := range row {
-			cells[i] = v.String()
+	cells := make([]string, len(t.cols))
+	for r := 0; r < t.nrows; r++ {
+		for i, col := range t.cols {
+			cells[i] = col[r].String()
 		}
 		if err := writer.Write(cells); err != nil {
 			return fmt.Errorf("anonymize: writing CSV row %d: %w", r, err)

@@ -96,7 +96,8 @@ var _ Generalizer = SuppressAll{}
 type Spec map[string]Generalizer
 
 // Apply returns a new table with the spec's generalisers applied column-wise.
-// The input table is not modified.
+// The input table is not modified. With column-oriented storage each
+// generaliser streams over one contiguous cell slice.
 func (s Spec) Apply(t *Table) (*Table, error) {
 	out := t.Clone()
 	for column, gen := range s {
@@ -104,8 +105,9 @@ func (s Spec) Apply(t *Table) (*Table, error) {
 		if !ok {
 			return nil, fmt.Errorf("anonymize: generalisation spec references unknown column %q", column)
 		}
-		for r := 0; r < out.NumRows(); r++ {
-			out.rows[r][idx] = gen.Generalize(out.rows[r][idx])
+		cells := out.cols[idx]
+		for r := range cells {
+			cells[r] = gen.Generalize(cells[r])
 		}
 	}
 	return out, nil

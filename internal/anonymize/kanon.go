@@ -70,6 +70,10 @@ type KAnonymizeOptions struct {
 	MaxDoublings int
 	// Origins aligns the bins per column; default 0.
 	Origins map[string]float64
+	// Workers bounds the goroutines used for class building inside each
+	// widening round; zero or negative selects one per CPU. The output is
+	// identical for any worker count.
+	Workers int
 }
 
 // KAnonymizeResult reports how k-anonymity was achieved.
@@ -125,6 +129,7 @@ func KAnonymize(t *Table, quasiIdentifiers []string, k int, opts KAnonymizeOptio
 
 	result := KAnonymizeResult{K: k, Widths: widths}
 	var out *Table
+	var classes [][]int
 	for round := 0; ; round++ {
 		spec := Spec{}
 		for _, q := range quasiIdentifiers {
@@ -135,9 +140,20 @@ func KAnonymize(t *Table, quasiIdentifiers []string, k int, opts KAnonymizeOptio
 		if err != nil {
 			return nil, KAnonymizeResult{}, err
 		}
-		ok, err := IsKAnonymous(out, quasiIdentifiers, k)
+		// One class index per candidate table: the k-check, the per-column
+		// widening heuristic and the final suppression pass all share its
+		// per-column group keys instead of re-deriving them.
+		ix := NewClassIndex(out, opts.Workers)
+		classes, err = ix.Classes(quasiIdentifiers)
 		if err != nil {
 			return nil, KAnonymizeResult{}, err
+		}
+		ok := true
+		for _, class := range classes {
+			if len(class) < k {
+				ok = false
+				break
+			}
 		}
 		if ok || round >= opts.MaxDoublings {
 			result.Doublings = round
@@ -151,12 +167,12 @@ func KAnonymize(t *Table, quasiIdentifiers []string, k int, opts KAnonymizeOptio
 		names := append([]string(nil), quasiIdentifiers...)
 		sort.Strings(names)
 		for _, q := range names {
-			classes, err := out.EquivalenceClasses([]string{q})
+			perColumn, err := ix.Classes([]string{q})
 			if err != nil {
 				return nil, KAnonymizeResult{}, err
 			}
 			minSize := t.NumRows() + 1
-			for _, class := range classes {
+			for _, class := range perColumn {
 				if len(class) < minSize {
 					minSize = len(class)
 				}
@@ -173,11 +189,8 @@ func KAnonymize(t *Table, quasiIdentifiers []string, k int, opts KAnonymizeOptio
 		widths[worst] *= 2
 	}
 
-	// Suppress quasi-identifiers of rows still in undersized classes.
-	classes, err := out.EquivalenceClasses(quasiIdentifiers)
-	if err != nil {
-		return nil, KAnonymizeResult{}, err
-	}
+	// Suppress quasi-identifiers of rows still in undersized classes; the
+	// classes of the final widening round are reused rather than recomputed.
 	for _, class := range classes {
 		if len(class) >= k {
 			continue

@@ -1,0 +1,41 @@
+package anonymize
+
+import "strings"
+
+// Interner is a cell-level value pool for bulk table loading. Real datasets
+// repeat cells heavily — a categorical column with twenty distinct labels
+// over a million rows is the norm, not the exception — so the streaming CSV
+// reader parses each distinct cell text once and returns the pooled Value
+// for every repetition: repeated categorical cells share one string
+// allocation, and repeated numeric cells skip float re-parsing entirely.
+//
+// An Interner is not safe for concurrent use; give each loading goroutine
+// its own.
+type Interner struct {
+	values map[string]Value
+}
+
+// NewInterner returns an empty pool.
+func NewInterner() *Interner {
+	return &Interner{values: make(map[string]Value)}
+}
+
+// Parse returns ParseValue(cell), serving repeated cell texts from the pool.
+// The returned Value never aliases cell's backing memory, so callers may
+// reuse their read buffer between calls (as encoding/csv does).
+func (in *Interner) Parse(cell string) Value {
+	if v, ok := in.values[cell]; ok {
+		return v
+	}
+	v := ParseValue(cell)
+	if v.Kind == KindCategorical {
+		// Detach from the caller's buffer: a pooled category must not pin a
+		// whole CSV record (or a reused buffer) in memory.
+		v.Str = strings.Clone(v.Str)
+	}
+	in.values[strings.Clone(cell)] = v
+	return v
+}
+
+// Size returns the number of distinct cell texts pooled so far.
+func (in *Interner) Size() int { return len(in.values) }

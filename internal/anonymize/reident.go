@@ -99,6 +99,23 @@ func (r ReidentReport) RiskFor(model AttackerModel) float64 {
 // Records whose risk is at least threshold are counted as at-risk; a
 // threshold of 0.2, for example, flags records in classes smaller than 5.
 func ReidentificationRisk(t *Table, quasiIdentifiers []string, threshold float64) (ReidentReport, error) {
+	return reidentificationRisk(t, nil, quasiIdentifiers, threshold)
+}
+
+// ReidentificationRiskIndexed is ReidentificationRisk drawing its
+// equivalence classes from a ClassIndex, so the partition is shared with
+// (for example) a value-risk scenario over the same quasi-identifiers
+// instead of being recomputed. All three attacker models are derived from
+// the one cached partition.
+func ReidentificationRiskIndexed(ix *ClassIndex, quasiIdentifiers []string, threshold float64) (ReidentReport, error) {
+	if ix == nil {
+		return ReidentReport{}, errors.New("anonymize: class index must not be nil")
+	}
+	return reidentificationRisk(ix.Table(), ix, quasiIdentifiers, threshold)
+}
+
+// reidentificationRisk is the shared implementation; ix is optional.
+func reidentificationRisk(t *Table, ix *ClassIndex, quasiIdentifiers []string, threshold float64) (ReidentReport, error) {
 	if t == nil {
 		return ReidentReport{}, errors.New("anonymize: table must not be nil")
 	}
@@ -108,7 +125,13 @@ func ReidentificationRisk(t *Table, quasiIdentifiers []string, threshold float64
 	if threshold < 0 || threshold > 1 {
 		return ReidentReport{}, fmt.Errorf("anonymize: threshold %v outside [0,1]", threshold)
 	}
-	classes, err := t.EquivalenceClasses(quasiIdentifiers)
+	var classes [][]int
+	var err error
+	if ix != nil {
+		classes, err = ix.Classes(quasiIdentifiers)
+	} else {
+		classes, err = t.EquivalenceClasses(quasiIdentifiers)
+	}
 	if err != nil {
 		return ReidentReport{}, err
 	}

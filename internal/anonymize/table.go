@@ -3,7 +3,6 @@ package anonymize
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -46,11 +45,20 @@ type Column struct {
 }
 
 // Table is an in-memory record table: the datasets the pseudonymisation risk
-// analysis operates on. Tables are not safe for concurrent mutation.
+// analysis operates on.
+//
+// Storage is column-oriented: each column's cells live in one contiguous
+// slice, so the analyses — which walk a handful of columns over every row —
+// scan sequential memory instead of hopping across per-row allocations, and
+// a million-row table costs one allocation per column rather than one per
+// row. Tables are not safe for concurrent mutation; concurrent reads are
+// safe once mutation has stopped.
 type Table struct {
 	columns []Column
 	index   map[string]int
-	rows    [][]Value
+	// cols holds the cell data column-major: cols[c][r] is row r of column c.
+	cols  [][]Value
+	nrows int
 }
 
 // NewTable creates an empty table with the given columns.
@@ -58,7 +66,11 @@ func NewTable(columns ...Column) (*Table, error) {
 	if len(columns) == 0 {
 		return nil, errors.New("anonymize: table needs at least one column")
 	}
-	t := &Table{columns: append([]Column(nil), columns...), index: make(map[string]int, len(columns))}
+	t := &Table{
+		columns: append([]Column(nil), columns...),
+		index:   make(map[string]int, len(columns)),
+		cols:    make([][]Value, len(columns)),
+	}
 	for i, c := range columns {
 		if strings.TrimSpace(c.Name) == "" {
 			return nil, fmt.Errorf("anonymize: column %d has an empty name", i)
@@ -85,7 +97,10 @@ func (t *Table) AddRow(values ...Value) error {
 	if len(values) != len(t.columns) {
 		return fmt.Errorf("anonymize: row has %d values, table has %d columns", len(values), len(t.columns))
 	}
-	t.rows = append(t.rows, append([]Value(nil), values...))
+	for i, v := range values {
+		t.cols[i] = append(t.cols[i], v)
+	}
+	t.nrows++
 	return nil
 }
 
@@ -133,42 +148,56 @@ func (t *Table) ColumnsByRole(role ColumnRole) []string {
 	return out
 }
 
+// ColumnValues returns the cells of the named column in row order. The
+// returned slice is the table's backing storage and must be treated as
+// read-only; it stays valid until the table is mutated.
+func (t *Table) ColumnValues(name string) ([]Value, bool) {
+	if i, ok := t.index[name]; ok {
+		return t.cols[i], true
+	}
+	return nil, false
+}
+
 // NumRows returns the number of rows.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int { return t.nrows }
 
 // NumColumns returns the number of columns.
 func (t *Table) NumColumns() int { return len(t.columns) }
 
 // Value returns the cell at (row, column name).
 func (t *Table) Value(row int, column string) (Value, error) {
-	if row < 0 || row >= len(t.rows) {
-		return Value{}, fmt.Errorf("anonymize: row %d out of range [0,%d)", row, len(t.rows))
+	if row < 0 || row >= t.nrows {
+		return Value{}, fmt.Errorf("anonymize: row %d out of range [0,%d)", row, t.nrows)
 	}
 	i, ok := t.index[column]
 	if !ok {
 		return Value{}, fmt.Errorf("anonymize: unknown column %q", column)
 	}
-	return t.rows[row][i], nil
+	return t.cols[i][row], nil
 }
 
 // Row returns a copy of the row's values.
 func (t *Table) Row(row int) ([]Value, error) {
-	if row < 0 || row >= len(t.rows) {
-		return nil, fmt.Errorf("anonymize: row %d out of range [0,%d)", row, len(t.rows))
+	if row < 0 || row >= t.nrows {
+		return nil, fmt.Errorf("anonymize: row %d out of range [0,%d)", row, t.nrows)
 	}
-	return append([]Value(nil), t.rows[row]...), nil
+	out := make([]Value, len(t.cols))
+	for i, col := range t.cols {
+		out[i] = col[row]
+	}
+	return out, nil
 }
 
 // SetValue overwrites the cell at (row, column name).
 func (t *Table) SetValue(row int, column string, v Value) error {
-	if row < 0 || row >= len(t.rows) {
-		return fmt.Errorf("anonymize: row %d out of range [0,%d)", row, len(t.rows))
+	if row < 0 || row >= t.nrows {
+		return fmt.Errorf("anonymize: row %d out of range [0,%d)", row, t.nrows)
 	}
 	i, ok := t.index[column]
 	if !ok {
 		return fmt.Errorf("anonymize: unknown column %q", column)
 	}
-	t.rows[row][i] = v
+	t.cols[i][row] = v
 	return nil
 }
 
@@ -177,13 +206,14 @@ func (t *Table) Clone() *Table {
 	out := &Table{
 		columns: append([]Column(nil), t.columns...),
 		index:   make(map[string]int, len(t.index)),
-		rows:    make([][]Value, len(t.rows)),
+		cols:    make([][]Value, len(t.cols)),
+		nrows:   t.nrows,
 	}
 	for k, v := range t.index {
 		out.index[k] = v
 	}
-	for i, row := range t.rows {
-		out.rows[i] = append([]Value(nil), row...)
+	for i, col := range t.cols {
+		out.cols[i] = append([]Value(nil), col...)
 	}
 	return out
 }
@@ -205,12 +235,9 @@ func (t *Table) Project(columns ...string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, row := range t.rows {
-		values := make([]Value, len(idxs))
-		for j, i := range idxs {
-			values[j] = row[i]
-		}
-		out.rows = append(out.rows, values)
+	out.nrows = t.nrows
+	for j, i := range idxs {
+		out.cols[j] = append([]Value(nil), t.cols[i]...)
 	}
 	return out, nil
 }
@@ -226,11 +253,11 @@ func (t *Table) String() string {
 		}
 		widths[i] = len(header[i])
 	}
-	cells := make([][]string, len(t.rows))
-	for r, row := range t.rows {
-		cells[r] = make([]string, len(row))
-		for i, v := range row {
-			cells[r][i] = v.String()
+	cells := make([][]string, t.nrows)
+	for r := 0; r < t.nrows; r++ {
+		cells[r] = make([]string, len(t.cols))
+		for i, col := range t.cols {
+			cells[r][i] = col[r].String()
 			if len(cells[r][i]) > widths[i] {
 				widths[i] = len(cells[r][i])
 			}
@@ -256,9 +283,22 @@ func (t *Table) String() string {
 
 // EquivalenceClasses partitions the row indices into groups whose values in
 // the given columns are indistinguishable (identical group keys). The groups
-// and their members are returned in deterministic order. Rows where every
+// and their members are returned in deterministic order: groups sorted by
+// their canonical key, members in ascending row order. Rows where every
 // grouping column is suppressed form their own shared group.
+//
+// The computation is single-threaded; use a ClassIndex to build (and cache)
+// classes with a worker pool on large tables. Both produce identical output.
 func (t *Table) EquivalenceClasses(columns []string) ([][]int, error) {
+	idxs, err := t.resolveColumns(columns)
+	if err != nil {
+		return nil, err
+	}
+	return buildClasses(t, idxs, 1), nil
+}
+
+// resolveColumns maps column names to their indices, erroring on unknowns.
+func (t *Table) resolveColumns(columns []string) ([]int, error) {
 	idxs := make([]int, 0, len(columns))
 	for _, name := range columns {
 		i, ok := t.index[name]
@@ -267,23 +307,5 @@ func (t *Table) EquivalenceClasses(columns []string) ([][]int, error) {
 		}
 		idxs = append(idxs, i)
 	}
-	groups := make(map[string][]int)
-	var keys []string
-	for r, row := range t.rows {
-		parts := make([]string, len(idxs))
-		for j, i := range idxs {
-			parts[j] = row[i].GroupKey()
-		}
-		key := strings.Join(parts, "|")
-		if _, ok := groups[key]; !ok {
-			keys = append(keys, key)
-		}
-		groups[key] = append(groups[key], r)
-	}
-	sort.Strings(keys)
-	out := make([][]int, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, groups[k])
-	}
-	return out, nil
+	return idxs, nil
 }

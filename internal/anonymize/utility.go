@@ -79,28 +79,25 @@ func CompareUtility(original, anonymised *Table, columns []string) (UtilityRepor
 	report := UtilityReport{}
 	totalCells, suppressedCells := 0, 0
 	for _, column := range columns {
-		if _, ok := original.ColumnIndex(column); !ok {
+		oi, ok := original.ColumnIndex(column)
+		if !ok {
 			return UtilityReport{}, fmt.Errorf("anonymize: unknown column %q in original table", column)
 		}
-		if _, ok := anonymised.ColumnIndex(column); !ok {
+		ai, ok := anonymised.ColumnIndex(column)
+		if !ok {
 			return UtilityReport{}, fmt.Errorf("anonymize: unknown column %q in anonymised table", column)
 		}
 		cu := ColumnUtility{Column: column}
+		origCol, anonCol := original.cols[oi], anonymised.cols[ai]
 		var origVals, anonVals []float64
 		var absErrSum float64
-		var pairCount int
+		var pairCount, suppressed int
 		for r := 0; r < original.NumRows(); r++ {
-			ov, err := original.Value(r, column)
-			if err != nil {
-				return UtilityReport{}, err
-			}
-			av, err := anonymised.Value(r, column)
-			if err != nil {
-				return UtilityReport{}, err
-			}
+			ov, av := origCol[r], anonCol[r]
 			totalCells++
 			if av.IsSuppressed() {
 				suppressedCells++
+				suppressed++
 			}
 			om, am := ov.Midpoint(), av.Midpoint()
 			if !math.IsNaN(om) {
@@ -119,14 +116,7 @@ func CompareUtility(original, anonymised *Table, columns []string) (UtilityRepor
 		if pairCount > 0 {
 			cu.MeanAbsoluteError = absErrSum / float64(pairCount)
 		}
-		if original.NumRows() > 0 {
-			suppressed := 0
-			for r := 0; r < anonymised.NumRows(); r++ {
-				v, _ := anonymised.Value(r, column)
-				if v.IsSuppressed() {
-					suppressed++
-				}
-			}
+		if anonymised.NumRows() > 0 {
 			cu.SuppressedFraction = float64(suppressed) / float64(anonymised.NumRows())
 		}
 		report.Columns = append(report.Columns, cu)
@@ -170,12 +160,16 @@ func GeneralizationLoss(original, anonymised *Table, columns []string) (float64,
 	total := 0.0
 	cells := 0
 	for _, column := range columns {
+		oi, ok := original.ColumnIndex(column)
+		if !ok {
+			return 0, fmt.Errorf("anonymize: unknown column %q", column)
+		}
+		ai, ok := anonymised.ColumnIndex(column)
+		if !ok {
+			return 0, fmt.Errorf("anonymize: unknown column %q in anonymised table", column)
+		}
 		lo, hi := math.Inf(1), math.Inf(-1)
-		for r := 0; r < original.NumRows(); r++ {
-			v, err := original.Value(r, column)
-			if err != nil {
-				return 0, err
-			}
+		for _, v := range original.cols[oi] {
 			m := v.Midpoint()
 			if math.IsNaN(m) {
 				continue
@@ -188,11 +182,7 @@ func GeneralizationLoss(original, anonymised *Table, columns []string) (float64,
 			}
 		}
 		rangeWidth := hi - lo
-		for r := 0; r < anonymised.NumRows(); r++ {
-			v, err := anonymised.Value(r, column)
-			if err != nil {
-				return 0, err
-			}
+		for _, v := range anonymised.cols[ai] {
 			cells++
 			switch v.Kind {
 			case KindSuppressed:

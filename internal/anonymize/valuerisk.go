@@ -3,6 +3,10 @@ package anonymize
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // ValueRisk is the per-record outcome of the paper's value-risk computation
@@ -40,6 +44,13 @@ type ValueRiskOptions struct {
 	// same observation (5 kg in the paper's weight example). Zero means
 	// exact equality.
 	Closeness float64
+	// Workers bounds the goroutines used to build classes and score records;
+	// zero or one selects the sequential path. The result is identical for
+	// any worker count.
+	Workers int
+	// Index, when set, supplies (and caches) the equivalence classes instead
+	// of recomputing them. It must index the analysed table.
+	Index *ClassIndex
 }
 
 // ValueRisks computes the value risk of every record in the table following
@@ -55,62 +66,199 @@ type ValueRiskOptions struct {
 //
 // When no columns are visible, every record falls into one set covering the
 // whole table.
+//
+// Scoring fans out over equivalence sets (Options.Workers): sets are
+// independent and each worker writes only its sets' rows, so the output is
+// byte-identical for any worker count.
 func ValueRisks(t *Table, opts ValueRiskOptions) ([]ValueRisk, error) {
 	if t == nil {
 		return nil, errors.New("anonymize: table must not be nil")
 	}
-	if _, ok := t.ColumnIndex(opts.TargetColumn); !ok {
+	targetIdx, ok := t.ColumnIndex(opts.TargetColumn)
+	if !ok {
 		return nil, fmt.Errorf("anonymize: unknown target column %q", opts.TargetColumn)
 	}
 	if opts.Closeness < 0 {
 		return nil, errors.New("anonymize: closeness must not be negative")
 	}
+	if opts.Index != nil && opts.Index.Table() != t {
+		return nil, errors.New("anonymize: class index was built for a different table")
+	}
+
+	classes, err := valueRiskClasses(t, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	risks := make([]ValueRisk, t.NumRows())
+	target := t.cols[targetIdx]
+	scoreClass := func(class []int) {
+		scoreClassInto(risks, class, target, opts.Closeness)
+	}
+
+	workers := opts.Workers
+	if workers > len(classes) {
+		workers = len(classes)
+	}
+	if workers <= 1 {
+		for _, class := range classes {
+			scoreClass(class)
+		}
+		return risks, nil
+	}
+	// Each class touches a disjoint set of rows, so workers can pull classes
+	// from a shared counter and write results without coordination.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(classes) {
+					return
+				}
+				scoreClass(classes[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return risks, nil
+}
+
+// quadraticClassCutoff is the class size below which the direct pairwise
+// frequency scan beats the sorted-bounds counting path (no allocations, no
+// sorting).
+const quadraticClassCutoff = 32
+
+// scoreClassInto computes the value risk of every record of one equivalence
+// set and writes the results into the rows' slots of risks.
+//
+// Small sets use the direct O(k²) pairwise scan. Large sets use an
+// O(k log k) counting scheme that produces exactly the same frequencies:
+//
+//   - categorical values are close only to equal categorical values, so one
+//     hash count per distinct category answers all of them;
+//   - suppressed cells (and NaN-valued numerics) are close to nothing and
+//     count for nothing;
+//   - the remaining numeric and interval values widen to bounds [lo, hi],
+//     and Close(i, j) is lo_i-c <= hi_j && lo_j-c <= hi_i — so with both
+//     bound multisets sorted, frequency(i) is the total minus two binary-
+//     search exclusion counts, each evaluating the same float expression
+//     Close does (the excluded sets cannot overlap while every interval
+//     satisfies lo <= hi; inverted intervals fall back to the pairwise
+//     scan).
+//
+// Without this path a single million-row equivalence set — the "no visible
+// fields" scenario of every large dataset — would cost 10¹² comparisons.
+func scoreClassInto(risks []ValueRisk, class []int, target []Value, closeness float64) {
+	size := len(class)
+	if size <= quadraticClassCutoff {
+		scoreClassQuadratic(risks, class, target, closeness)
+		return
+	}
+
+	var catCounts map[string]int
+	los := make([]float64, 0, size)
+	his := make([]float64, 0, size)
+	for _, r := range class {
+		v := target[r]
+		switch v.Kind {
+		case KindCategorical:
+			if catCounts == nil {
+				catCounts = make(map[string]int)
+			}
+			catCounts[v.Str]++
+		case KindNumeric, KindInterval:
+			lo, hi := v.bounds()
+			if lo > hi || math.IsNaN(lo) || math.IsNaN(hi) {
+				if lo > hi {
+					// An inverted interval breaks the disjointness of the two
+					// exclusion counts; keep exactness over speed.
+					scoreClassQuadratic(risks, class, target, closeness)
+					return
+				}
+				continue // NaN bounds: close to nothing, like a suppressed cell
+			}
+			los = append(los, lo)
+			his = append(his, hi)
+		}
+	}
+	sort.Float64s(los)
+	sort.Float64s(his)
+	numeric := len(los)
+
+	for _, r := range class {
+		v := target[r]
+		freq := 0
+		switch v.Kind {
+		case KindCategorical:
+			freq = catCounts[v.Str]
+		case KindNumeric, KindInterval:
+			lo, hi := v.bounds()
+			if !math.IsNaN(lo) && !math.IsNaN(hi) {
+				// Both exclusion counts evaluate the exact float expressions
+				// Close uses — hi_j < fl(lo_i-c) and fl(lo_j-c) > hi_i — so
+				// rounding cannot make the fast path disagree with the
+				// pairwise scan. fl(x-c) is monotone in x, so the sorted
+				// order of los carries over to the searched predicate.
+				below := sort.SearchFloat64s(his, lo-closeness)
+				above := numeric - sort.Search(numeric, func(i int) bool { return los[i]-closeness > hi })
+				freq = numeric - below - above
+			}
+		}
+		risks[r] = ValueRisk{Row: r, SetSize: size, Frequency: freq, Probability: float64(freq) / float64(size)}
+	}
+}
+
+// scoreClassQuadratic is the direct pairwise scan; the reference semantics
+// every fast path must reproduce.
+func scoreClassQuadratic(risks []ValueRisk, class []int, target []Value, closeness float64) {
+	size := len(class)
+	values := make([]Value, size)
+	for i, r := range class {
+		values[i] = target[r]
+	}
+	for i, r := range class {
+		freq := 0
+		for j := range values {
+			if values[i].Close(values[j], closeness) {
+				freq++
+			}
+		}
+		risk := ValueRisk{Row: r, SetSize: size, Frequency: freq}
+		if size > 0 {
+			risk.Probability = float64(freq) / float64(size)
+		}
+		risks[r] = risk
+	}
+}
+
+// valueRiskClasses resolves the equivalence sets for the options: the whole
+// table as one set when nothing is visible, otherwise the (possibly cached)
+// class partition over the visible columns.
+func valueRiskClasses(t *Table, opts ValueRiskOptions) ([][]int, error) {
 	for _, c := range opts.VisibleColumns {
 		if _, ok := t.ColumnIndex(c); !ok {
 			return nil, fmt.Errorf("anonymize: unknown visible column %q", c)
 		}
 	}
-
-	var classes [][]int
 	if len(opts.VisibleColumns) == 0 {
 		all := make([]int, t.NumRows())
 		for i := range all {
 			all[i] = i
 		}
-		classes = [][]int{all}
-	} else {
-		var err error
-		classes, err = t.EquivalenceClasses(opts.VisibleColumns)
-		if err != nil {
-			return nil, err
-		}
+		return [][]int{all}, nil
 	}
-
-	risks := make([]ValueRisk, t.NumRows())
-	for _, class := range classes {
-		values := make([]Value, len(class))
-		for i, r := range class {
-			v, err := t.Value(r, opts.TargetColumn)
-			if err != nil {
-				return nil, err
-			}
-			values[i] = v
-		}
-		for i, r := range class {
-			freq := 0
-			for j := range class {
-				if values[i].Close(values[j], opts.Closeness) {
-					freq++
-				}
-			}
-			risk := ValueRisk{Row: r, SetSize: len(class), Frequency: freq}
-			if len(class) > 0 {
-				risk.Probability = float64(freq) / float64(len(class))
-			}
-			risks[r] = risk
-		}
+	if opts.Index != nil {
+		return opts.Index.Classes(opts.VisibleColumns)
 	}
-	return risks, nil
+	idxs, err := t.resolveColumns(opts.VisibleColumns)
+	if err != nil {
+		return nil, err
+	}
+	return buildClasses(t, idxs, opts.Workers), nil
 }
 
 // CountViolations returns how many records' value risk meets or exceeds the

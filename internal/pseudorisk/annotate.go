@@ -72,6 +72,10 @@ type Options struct {
 	// pseudonymised field is not listed, its base name (without the _anon
 	// suffix) is used.
 	FieldColumns map[string]string
+	// Workers bounds the evaluator's parallelism (class building, record
+	// scoring); zero or negative selects one per CPU. The annotation is
+	// identical for any worker count.
+	Workers int
 }
 
 // AnalyzeLTS produces the pseudonymisation-risk annotation of a privacy LTS:
@@ -93,7 +97,10 @@ func AnalyzeLTS(p *core.PrivacyLTS, opts Options) (*Annotation, error) {
 	if !p.Vocab.HasActor(opts.Actor) {
 		return nil, fmt.Errorf("pseudorisk: actor %q is not part of the model", opts.Actor)
 	}
-	evaluator, err := NewEvaluator(opts.Table, opts.Policy)
+	// The evaluator's scenario cache is what keeps this pass cheap on large
+	// models: distinct LTS states frequently share the same fieldsread set,
+	// and each distinct set is scored against the dataset only once.
+	evaluator, err := NewEvaluatorWithOptions(opts.Table, opts.Policy, EvaluatorOptions{Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,132 @@
+package pseudorisk_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"privascope/internal/anonymize"
+	"privascope/internal/pseudorisk"
+)
+
+// syntheticTable builds a deterministic dataset large enough to exercise the
+// chunked class-building path.
+func syntheticTable(rows int) *anonymize.Table {
+	rng := rand.New(rand.NewSource(99))
+	cities := []string{"berlin", "paris", "london", "madrid", "rome"}
+	t := anonymize.MustTable(
+		anonymize.Column{Name: "age", Role: anonymize.RoleQuasiIdentifier},
+		anonymize.Column{Name: "city", Role: anonymize.RoleQuasiIdentifier},
+		anonymize.Column{Name: "weight", Role: anonymize.RoleSensitive},
+	)
+	for i := 0; i < rows; i++ {
+		t.MustAddRow(
+			anonymize.Interval(float64(20+10*rng.Intn(6)), float64(30+10*rng.Intn(6))),
+			anonymize.Cat(cities[rng.Intn(len(cities))]),
+			anonymize.Num(float64(45+rng.Intn(90))),
+		)
+	}
+	return t
+}
+
+func TestEvaluateProgressionIdenticalAcrossWorkerCounts(t *testing.T) {
+	table := syntheticTable(6000)
+	policy := pseudorisk.Policy{TargetField: "weight", Closeness: 5, Confidence: 0.9}
+	progression := [][]string{nil, {"age"}, {"city"}, {"age", "city"}, {"city", "age"}}
+
+	sequential, err := pseudorisk.NewEvaluatorWithOptions(table, policy, pseudorisk.EvaluatorOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sequential.EvaluateProgression(progression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 16} {
+		e, err := pseudorisk.NewEvaluatorWithOptions(table, policy, pseudorisk.EvaluatorOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.EvaluateProgression(progression)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d progression diverges from sequential", workers)
+		}
+	}
+}
+
+func TestEvaluatorCachesScenarioResults(t *testing.T) {
+	table := syntheticTable(500)
+	policy := pseudorisk.Policy{TargetField: "weight", Closeness: 5, Confidence: 0.9}
+	e, err := pseudorisk.NewEvaluator(table, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.Evaluate([]string{"age", "city"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same canonical set, different spelling: unsorted order, target field
+	// mixed in, unknown column ignored.
+	second, err := e.Evaluate([]string{"city", "weight", "age", "ghost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first.Risks[0] != &second.Risks[0] {
+		t.Error("equivalent scenario was recomputed instead of cached")
+	}
+	if e.Index().Misses() != 1 {
+		t.Errorf("class-index misses = %d, want 1", e.Index().Misses())
+	}
+}
+
+func TestEvaluatorSharedIndex(t *testing.T) {
+	table := syntheticTable(500)
+	policy := pseudorisk.Policy{TargetField: "weight", Closeness: 5, Confidence: 0.9}
+	ix := anonymize.NewClassIndex(table, 2)
+	e, err := pseudorisk.NewEvaluatorWithOptions(table, policy, pseudorisk.EvaluatorOptions{Workers: 2, Index: ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Index() != ix {
+		t.Error("provided index not adopted")
+	}
+	if _, err := e.Evaluate([]string{"age", "city"}); err != nil {
+		t.Fatal(err)
+	}
+	// The same partition is now visible to other analyses via the index.
+	if _, err := anonymize.ReidentificationRiskIndexed(ix, []string{"age", "city"}, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Hits() != 1 {
+		t.Errorf("index hits = %d, want 1 (reident should reuse the scenario partition)", ix.Hits())
+	}
+
+	other := syntheticTable(10)
+	if _, err := pseudorisk.NewEvaluatorWithOptions(other, policy, pseudorisk.EvaluatorOptions{Index: ix}); err == nil {
+		t.Error("index over a different table accepted")
+	}
+}
+
+func ExampleEvaluator_EvaluateProgression() {
+	table := anonymize.MustTable(
+		anonymize.Column{Name: "age", Role: anonymize.RoleQuasiIdentifier},
+		anonymize.Column{Name: "weight", Role: anonymize.RoleSensitive},
+	)
+	for _, row := range [][2]float64{{23, 50}, {23, 55}, {34, 70}, {34, 90}} {
+		table.MustAddRow(anonymize.Num(row[0]), anonymize.Num(row[1]))
+	}
+	e, _ := pseudorisk.NewEvaluatorWithOptions(table,
+		pseudorisk.Policy{TargetField: "weight", Closeness: 5, Confidence: 0.9},
+		pseudorisk.EvaluatorOptions{Workers: 4})
+	results, _ := e.EvaluateProgression([][]string{nil, {"age"}})
+	for _, r := range results {
+		fmt.Printf("visible=%v violations=%d\n", r.VisibleFields, r.Violations)
+	}
+	// Output:
+	// visible=[] violations=0
+	// visible=[age] violations=2
+}

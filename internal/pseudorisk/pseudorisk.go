@@ -21,8 +21,11 @@ package pseudorisk
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"privascope/internal/anonymize"
 )
@@ -86,14 +89,53 @@ func (s ScenarioResult) Fractions() []anonymize.Fraction {
 func (s ScenarioResult) Key() string { return strings.Join(s.VisibleFields, "+") }
 
 // Evaluator computes scenario results for a fixed dataset and policy.
+//
+// It is built for datasets far larger than the paper's six-row example: the
+// equivalence classes of each visible-field set are computed once (through a
+// shared anonymize.ClassIndex, with worker-pool class building) and every
+// scenario's full result is cached by its canonical visible-field key, so
+// re-evaluating the same field set — as the LTS annotation does for every
+// at-risk state with the same fieldsread — is a map lookup. An Evaluator is
+// safe for concurrent use; cached results (including their Risks slices) are
+// shared between callers and must be treated as read-only.
 type Evaluator struct {
-	table  *anonymize.Table
-	policy Policy
+	table   *anonymize.Table
+	policy  Policy
+	workers int
+	index   *anonymize.ClassIndex
+
+	mu      sync.Mutex
+	results map[string]*scenarioEntry
+}
+
+// scenarioEntry is the once-computed result of one visible-field set.
+type scenarioEntry struct {
+	once   sync.Once
+	result ScenarioResult
+	err    error
+}
+
+// EvaluatorOptions tunes an Evaluator beyond the defaults.
+type EvaluatorOptions struct {
+	// Workers bounds the goroutines used for class building, record scoring
+	// and scenario fan-out; zero or negative selects runtime.GOMAXPROCS(0).
+	// Results are identical for any worker count.
+	Workers int
+	// Index, when set, supplies the shared equivalence-class cache; it must
+	// index the evaluator's table. Leave nil to let the evaluator build its
+	// own. Sharing one index lets other analyses of the same dataset (such
+	// as re-identification risk) reuse the partitions.
+	Index *anonymize.ClassIndex
 }
 
 // NewEvaluator builds an evaluator after validating the policy against the
-// dataset.
+// dataset, with default options.
 func NewEvaluator(table *anonymize.Table, policy Policy) (*Evaluator, error) {
+	return NewEvaluatorWithOptions(table, policy, EvaluatorOptions{})
+}
+
+// NewEvaluatorWithOptions is NewEvaluator with explicit options.
+func NewEvaluatorWithOptions(table *anonymize.Table, policy Policy, opts EvaluatorOptions) (*Evaluator, error) {
 	if table == nil {
 		return nil, errors.New("pseudorisk: table must not be nil")
 	}
@@ -103,7 +145,23 @@ func NewEvaluator(table *anonymize.Table, policy Policy) (*Evaluator, error) {
 	if _, ok := table.ColumnIndex(policy.TargetField); !ok {
 		return nil, fmt.Errorf("pseudorisk: dataset has no column %q for the policy target", policy.TargetField)
 	}
-	return &Evaluator{table: table, policy: policy}, nil
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	index := opts.Index
+	if index == nil {
+		index = anonymize.NewClassIndex(table, workers)
+	} else if index.Table() != table {
+		return nil, errors.New("pseudorisk: class index was built for a different table")
+	}
+	return &Evaluator{
+		table:   table,
+		policy:  policy,
+		workers: workers,
+		index:   index,
+		results: make(map[string]*scenarioEntry),
+	}, nil
 }
 
 // Table returns the dataset the evaluator works on.
@@ -112,10 +170,15 @@ func (e *Evaluator) Table() *anonymize.Table { return e.table }
 // Policy returns the evaluator's policy.
 func (e *Evaluator) Policy() Policy { return e.policy }
 
+// Index returns the evaluator's equivalence-class cache, for sharing with
+// other analyses of the same dataset.
+func (e *Evaluator) Index() *anonymize.ClassIndex { return e.index }
+
 // Evaluate computes the scenario result for the given visible columns.
 // Columns that do not exist in the dataset are ignored (they cannot help the
 // adversary), and the target column is never treated as a visible
-// quasi-identifier.
+// quasi-identifier. Each distinct visible-field set is evaluated at most
+// once per evaluator.
 func (e *Evaluator) Evaluate(visibleFields []string) (ScenarioResult, error) {
 	var visible []string
 	for _, f := range visibleFields {
@@ -127,10 +190,29 @@ func (e *Evaluator) Evaluate(visibleFields []string) (ScenarioResult, error) {
 		}
 	}
 	sort.Strings(visible)
+
+	key := strings.Join(visible, "\x00")
+	e.mu.Lock()
+	entry, ok := e.results[key]
+	if !ok {
+		entry = &scenarioEntry{}
+		e.results[key] = entry
+	}
+	e.mu.Unlock()
+	entry.once.Do(func() {
+		entry.result, entry.err = e.evaluate(visible)
+	})
+	return entry.result, entry.err
+}
+
+// evaluate scores one canonicalised visible-field set.
+func (e *Evaluator) evaluate(visible []string) (ScenarioResult, error) {
 	risks, err := anonymize.ValueRisks(e.table, anonymize.ValueRiskOptions{
 		VisibleColumns: visible,
 		TargetColumn:   e.policy.TargetField,
 		Closeness:      e.policy.Closeness,
+		Workers:        e.workers,
+		Index:          e.index,
 	})
 	if err != nil {
 		return ScenarioResult{}, err
@@ -149,15 +231,47 @@ func (e *Evaluator) Evaluate(visibleFields []string) (ScenarioResult, error) {
 
 // EvaluateProgression evaluates the policy for a sequence of visible-field
 // sets — typically increasing, as in Table I where the researcher first sees
-// height, then age, then both.
+// height, then age, then both. Scenarios are evaluated concurrently on the
+// evaluator's worker pool; results come back in input order and are
+// identical for any worker count, and the first failing scenario (by input
+// position) determines the returned error.
 func (e *Evaluator) EvaluateProgression(fieldSets [][]string) ([]ScenarioResult, error) {
-	out := make([]ScenarioResult, 0, len(fieldSets))
-	for _, fields := range fieldSets {
-		r, err := e.Evaluate(fields)
+	out := make([]ScenarioResult, len(fieldSets))
+	errs := make([]error, len(fieldSets))
+	workers := e.workers
+	if workers > len(fieldSets) {
+		workers = len(fieldSets)
+	}
+	if workers <= 1 {
+		for i, fields := range fieldSets {
+			r, err := e.Evaluate(fields)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(fieldSets) {
+					return
+				}
+				out[i], errs[i] = e.Evaluate(fieldSets[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
 	}
 	return out, nil
 }

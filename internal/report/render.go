@@ -124,13 +124,26 @@ func PopulationSummary(p *risk.PopulationAssessment) *Report {
 // quasi-identifier values and the risk fraction under each visible-field
 // scenario, plus the closing "Violations" row.
 func TableI(records *pseudorisk.Evaluator, results []pseudorisk.ScenarioResult) *Table {
+	return TableICapped(records, results, 0)
+}
+
+// TableICapped is TableI with the per-record rows capped at maxRows
+// (0 or negative means no cap): on a million-row dataset the aggregate rows
+// are what matters, and rendering every record would dwarf the analysis
+// itself. When rows are elided, a summary row notes how many; the
+// "Violations" row always covers the full dataset.
+func TableICapped(records *pseudorisk.Evaluator, results []pseudorisk.ScenarioResult, maxRows int) *Table {
 	tbl := records.Table()
 	headers := append([]string{}, tbl.ColumnNames()...)
 	for _, res := range results {
 		headers = append(headers, scenarioHeader(res)+" risk")
 	}
 	out := NewTable(headers...)
-	for r := 0; r < tbl.NumRows(); r++ {
+	shown := tbl.NumRows()
+	if maxRows > 0 && shown > maxRows {
+		shown = maxRows
+	}
+	for r := 0; r < shown; r++ {
 		row := make([]string, 0, len(headers))
 		for _, col := range tbl.ColumnNames() {
 			v, err := tbl.Value(r, col)
@@ -148,6 +161,11 @@ func TableI(records *pseudorisk.Evaluator, results []pseudorisk.ScenarioResult) 
 			}
 		}
 		out.AddRow(row...)
+	}
+	if hidden := tbl.NumRows() - shown; hidden > 0 {
+		elided := make([]string, len(headers))
+		elided[0] = fmt.Sprintf("... %d more records", hidden)
+		out.AddRow(elided...)
 	}
 	violations := make([]string, len(tbl.ColumnNames()))
 	if len(violations) > 0 {

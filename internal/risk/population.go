@@ -45,6 +45,10 @@ type PopulationAssessment struct {
 	// is responsible for. It points designers at the access rights whose
 	// mitigation pays off most.
 	WorstActors map[string]int
+	// DistinctShapes is the number of distinct profile shapes
+	// (UserProfile.Fingerprint) in the population — the number of full
+	// analyses actually run; every other user shared a cached assessment.
+	DistinctShapes int
 }
 
 // WorstActorsRanked returns the actors of WorstActors ordered by how many
@@ -67,6 +71,11 @@ func (p *PopulationAssessment) WorstActorsRanked() []string {
 // aggregates the results. Profiles are analysed independently; an error in
 // any profile aborts the analysis so partial results are never mistaken for
 // complete ones.
+//
+// Assessments are deduplicated through an AssessmentCache: real populations
+// hold millions of users but few distinct privacy-control shapes, so the
+// full analysis runs once per (model, shape) pair and every same-shaped user
+// reuses it. The aggregation itself is O(users).
 func (a *Analyzer) AnalyzePopulation(p *core.PrivacyLTS, profiles []UserProfile) (*PopulationAssessment, error) {
 	if p == nil {
 		return nil, errors.New("risk: privacy LTS must not be nil")
@@ -74,12 +83,16 @@ func (a *Analyzer) AnalyzePopulation(p *core.PrivacyLTS, profiles []UserProfile)
 	if len(profiles) == 0 {
 		return nil, errors.New("risk: population is empty")
 	}
+	cache, err := NewAssessmentCache(a)
+	if err != nil {
+		return nil, err
+	}
 	out := &PopulationAssessment{
 		Distribution: make(map[Level]int),
 		WorstActors:  make(map[string]int),
 	}
 	for i, profile := range profiles {
-		assessment, err := a.Analyze(p, profile)
+		assessment, err := cache.Analyze(p, profile)
 		if err != nil {
 			return nil, fmt.Errorf("risk: analysing profile %d (%s): %w", i, profile.ID, err)
 		}
@@ -100,5 +113,6 @@ func (a *Analyzer) AnalyzePopulation(p *core.PrivacyLTS, profiles []UserProfile)
 			out.UsersAtRisk++
 		}
 	}
+	out.DistinctShapes = cache.Size()
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package risk
 
 import (
+	"fmt"
 	"testing"
 
 	"privascope/internal/accesscontrol"
@@ -69,5 +70,45 @@ func TestAnalyzePopulationErrors(t *testing.T) {
 	bad.Sensitivities["x"] = 7
 	if _, err := a.AnalyzePopulation(p, []UserProfile{patientProfile(), bad}); err == nil {
 		t.Error("invalid profile accepted")
+	}
+}
+
+func TestAnalyzePopulationDeduplicatesShapes(t *testing.T) {
+	p := generate(t, clinicModel(t, []string{accesscontrol.AllFields}))
+	a := MustAnalyzer(Config{})
+
+	// Three shapes, many users: the analysis must run once per shape and the
+	// per-user entries must match an uncached run exactly.
+	shapes := []UserProfile{
+		patientProfile(),
+		{ConsentedServices: []string{"care", "research"}},
+		{ConsentedServices: nil, DefaultSensitivity: 0.9},
+	}
+	var population []UserProfile
+	for i := 0; i < 60; i++ {
+		profile := shapes[i%len(shapes)]
+		profile.ID = fmt.Sprintf("user-%03d", i)
+		population = append(population, profile)
+	}
+	got, err := a.AnalyzePopulation(p, population)
+	if err != nil {
+		t.Fatalf("AnalyzePopulation: %v", err)
+	}
+	if got.DistinctShapes != len(shapes) {
+		t.Errorf("DistinctShapes = %d, want %d", got.DistinctShapes, len(shapes))
+	}
+	if len(got.Users) != len(population) {
+		t.Fatalf("users = %d, want %d", len(got.Users), len(population))
+	}
+	for i, u := range got.Users {
+		if u.UserID != population[i].ID {
+			t.Fatalf("user %d = %q, want %q (input order lost)", i, u.UserID, population[i].ID)
+		}
+		// Same-shaped users must agree on every aggregate.
+		ref := got.Users[i%len(shapes)]
+		if u.OverallRisk != ref.OverallRisk || u.Findings != ref.Findings ||
+			u.WorstActor != ref.WorstActor || u.HighestImpactField != ref.HighestImpactField {
+			t.Errorf("user %d diverges from same-shaped user: %+v vs %+v", i, u, ref)
+		}
 	}
 }

@@ -271,11 +271,29 @@ type (
 	PseudonymisationAnnotation = pseudorisk.Annotation
 	// PseudonymisationOptions configures AnalyzePseudonymisation.
 	PseudonymisationOptions = pseudorisk.Options
+	// ValueRiskEvaluatorOptions tunes an evaluator's worker pool and
+	// class-index sharing.
+	ValueRiskEvaluatorOptions = pseudorisk.EvaluatorOptions
+	// DataClassIndex caches a table's equivalence-class partitions across
+	// scenarios and attacker models.
+	DataClassIndex = anonymize.ClassIndex
 )
 
 // NewValueRiskEvaluator builds an evaluator for a dataset and policy.
 func NewValueRiskEvaluator(table *DataTable, p ViolationPolicy) (*ValueRiskEvaluator, error) {
 	return pseudorisk.NewEvaluator(table, p)
+}
+
+// NewValueRiskEvaluatorWithOptions is NewValueRiskEvaluator with explicit
+// worker-pool and class-index options.
+func NewValueRiskEvaluatorWithOptions(table *DataTable, p ViolationPolicy, opts ValueRiskEvaluatorOptions) (*ValueRiskEvaluator, error) {
+	return pseudorisk.NewEvaluatorWithOptions(table, p, opts)
+}
+
+// NewDataClassIndex builds an equivalence-class cache over a table; workers
+// bounds the class-building goroutines (0 = one per CPU).
+func NewDataClassIndex(t *DataTable, workers int) *DataClassIndex {
+	return anonymize.NewClassIndex(t, workers)
 }
 
 // AnalyzePseudonymisation layers dataset-driven value risks onto a privacy
