@@ -14,6 +14,7 @@ package privascope_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -293,6 +294,50 @@ func reportStatesPerSec(b *testing.B, statesPerRun int) {
 	if seconds := b.Elapsed().Seconds(); seconds > 0 {
 		b.ReportMetric(float64(statesPerRun)*float64(b.N)/seconds, "states/sec")
 	}
+}
+
+// BenchmarkEngineAssessCached contrasts the two assessment paths of the
+// public API: "cold" builds a fresh Engine per iteration, so every Assess
+// pays fingerprinting + LTS generation + risk analysis + report (the same
+// work the context-free Assess pipeline does per call); "cached" reuses one
+// warm Engine, so Assess pays fingerprinting + two cache hits + report —
+// the per-request cost of a long-lived server session. The gap between the
+// two sub-benchmarks is the generate-once/analyse-many win.
+func BenchmarkEngineAssessCached(b *testing.B) {
+	model := casestudy.Surgery()
+	profile := casestudy.PatientProfile()
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engine := privascope.MustEngine(privascope.EngineOptions{})
+			if _, err := engine.Assess(ctx, model, profile); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		engine := privascope.MustEngine(privascope.EngineOptions{})
+		warm, err := engine.Assess(ctx, model, profile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if warm.Assessment.OverallRisk == privascope.RiskNone {
+			b.Fatal("warm-up assessment found no risk; the benchmark would time a degenerate path")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Assess(ctx, model, profile); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if got := engine.Generations(); got != 1 {
+			b.Fatalf("cached benchmark ran %d generations, want 1", got)
+		}
+	})
 }
 
 // BenchmarkRiskAnalysisScaling sweeps the number of simulated users assessed

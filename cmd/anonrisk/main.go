@@ -23,10 +23,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -36,13 +39,22 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C cancels the in-flight scenario evaluation: class building and
+	// record scoring observe the cancellation at chunk boundaries and the
+	// tool exits non-zero instead of being hard-killed mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "anonrisk: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "anonrisk:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("anonrisk", flag.ContinueOnError)
 	dataPath := fs.String("data", "", "path to the dataset (CSV)")
 	target := fs.String("target", "", "sensitive field whose value must not be inferable")
@@ -111,7 +123,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	fieldSets := parseScenarios(*scenarios, table, *target)
-	results, err := evaluator.EvaluateProgression(fieldSets)
+	results, err := evaluator.EvaluateProgressionContext(ctx, fieldSets)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -47,7 +48,7 @@ func rawFixture(t *testing.T) string {
 func TestRunReproducesTableI(t *testing.T) {
 	path := tableIFixture(t)
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-data", path,
 		"-target", "weight",
 		"-closeness", "5",
@@ -75,14 +76,14 @@ func TestRunDefaultScenariosAndThreshold(t *testing.T) {
 	path := tableIFixture(t)
 	var out strings.Builder
 	// Default scenarios: each non-target column alone, then both.
-	if err := run([]string{"-data", path, "-target", "weight", "-closeness", "5"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-data", path, "-target", "weight", "-closeness", "5"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "age+height risk") {
 		t.Error("default scenario progression missing combined column")
 	}
 	// A 50% violation cap is exceeded by the age+height scenario.
-	err := run([]string{"-data", path, "-target", "weight", "-closeness", "5", "-max-violations", "50"}, &out)
+	err := run(context.Background(), []string{"-data", path, "-target", "weight", "-closeness", "5", "-max-violations", "50"}, &out)
 	if !errors.Is(err, pseudorisk.ErrThresholdExceeded) {
 		t.Errorf("error = %v, want ErrThresholdExceeded", err)
 	}
@@ -91,7 +92,7 @@ func TestRunDefaultScenariosAndThreshold(t *testing.T) {
 func TestRunWithReidentificationReport(t *testing.T) {
 	path := tableIFixture(t)
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-data", path,
 		"-target", "weight",
 		"-closeness", "5",
@@ -112,7 +113,7 @@ func TestRunWithReidentificationReport(t *testing.T) {
 func TestRunWithKAnonymisation(t *testing.T) {
 	path := rawFixture(t)
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-data", path,
 		"-target", "weight",
 		"-closeness", "5",
@@ -132,17 +133,17 @@ func TestRunWithKAnonymisation(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run(nil, &out); err == nil {
+	if err := run(context.Background(), nil, &out); err == nil {
 		t.Error("missing flags accepted")
 	}
-	if err := run([]string{"-data", "missing.csv", "-target", "weight"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-data", "missing.csv", "-target", "weight"}, &out); err == nil {
 		t.Error("missing data file accepted")
 	}
 	path := tableIFixture(t)
-	if err := run([]string{"-data", path, "-target", "ghost"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-data", path, "-target", "ghost"}, &out); err == nil {
 		t.Error("unknown target accepted")
 	}
-	if err := run([]string{"-data", path, "-target", "weight", "-k", "2"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-data", path, "-target", "weight", "-k", "2"}, &out); err == nil {
 		t.Error("-k without -quasi accepted")
 	}
 }
@@ -178,7 +179,7 @@ func TestRunOutputIdenticalAcrossWorkerCounts(t *testing.T) {
 	outputs := make(map[int]string)
 	for _, workers := range []int{1, 4, 16} {
 		var out strings.Builder
-		err := run([]string{
+		err := run(context.Background(), []string{
 			"-data", path,
 			"-target", "weight",
 			"-closeness", "5",
@@ -210,7 +211,7 @@ func TestRunRejectsDuplicateHeader(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	err := run([]string{"-data", path, "-target", "age"}, &out)
+	err := run(context.Background(), []string{"-data", path, "-target", "age"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "duplicate CSV header") {
 		t.Errorf("error = %v, want duplicate-header rejection", err)
 	}

@@ -13,14 +13,21 @@
 //
 // Large models generate faster with -workers N (0, the default, uses one
 // worker per CPU); the emitted LTS is byte-identical for any worker count.
+//
+// Ctrl-C (SIGINT) cancels an in-flight generation: the exploration workers
+// observe the cancellation, the partial state space is discarded, and the
+// tool exits non-zero ("interrupted") instead of being hard-killed.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"privascope"
 	"privascope/internal/core"
@@ -28,13 +35,19 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "dataflow2lts: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "dataflow2lts:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dataflow2lts", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "path to the model document (JSON)")
 	mode := fs.String("mode", "dataflow", "output: dataflow, lts, lts-json, or stats")
@@ -71,14 +84,14 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, model.DOT())
 		return nil
 	case "lts":
-		generated, err := privascope.GenerateWithOptions(model, opts)
+		generated, err := privascope.GenerateWithOptionsContext(ctx, model, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, generated.DOT(core.DOTOptions{Name: "privacy_lts", VerboseStates: *verbose}))
 		return nil
 	case "lts-json":
-		generated, err := privascope.GenerateWithOptions(model, opts)
+		generated, err := privascope.GenerateWithOptionsContext(ctx, model, opts)
 		if err != nil {
 			return err
 		}
@@ -89,7 +102,7 @@ func run(args []string, out io.Writer) error {
 		_, err = out.Write(append(data, '\n'))
 		return err
 	case "stats":
-		generated, err := privascope.GenerateWithOptions(model, opts)
+		generated, err := privascope.GenerateWithOptionsContext(ctx, model, opts)
 		if err != nil {
 			return err
 		}

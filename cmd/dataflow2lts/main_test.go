@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"path/filepath"
 	"strings"
@@ -38,7 +39,7 @@ func TestRunModes(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			var out strings.Builder
-			if err := run(tt.args, &out); err != nil {
+			if err := run(context.Background(), tt.args, &out); err != nil {
 				t.Fatalf("run: %v", err)
 			}
 			for _, want := range tt.want {
@@ -53,7 +54,7 @@ func TestRunModes(t *testing.T) {
 func TestRunLTSJSON(t *testing.T) {
 	path := modelFixture(t)
 	var out strings.Builder
-	if err := run([]string{"-model", path, "-mode", "lts-json"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-model", path, "-mode", "lts-json"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var doc map[string]any
@@ -68,16 +69,16 @@ func TestRunLTSJSON(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	path := modelFixture(t)
 	var out strings.Builder
-	if err := run(nil, &out); err == nil {
+	if err := run(context.Background(), nil, &out); err == nil {
 		t.Error("missing -model accepted")
 	}
-	if err := run([]string{"-model", "missing.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", "missing.json"}, &out); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run([]string{"-model", path, "-mode", "hologram"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", path, "-mode", "hologram"}, &out); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run([]string{"-model", path, "-mode", "dataflow", "-service", "ghost"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", path, "-mode", "dataflow", "-service", "ghost"}, &out); err == nil {
 		t.Error("unknown service accepted")
 	}
 }
@@ -89,7 +90,7 @@ func TestRunWorkersDeterministic(t *testing.T) {
 	outputs := make([]string, 0, 3)
 	for _, workers := range []string{"1", "4", "8"} {
 		var out strings.Builder
-		if err := run([]string{"-model", path, "-mode", "lts-json", "-workers", workers}, &out); err != nil {
+		if err := run(context.Background(), []string{"-model", path, "-mode", "lts-json", "-workers", workers}, &out); err != nil {
 			t.Fatalf("workers=%s: %v", workers, err)
 		}
 		outputs = append(outputs, out.String())

@@ -24,11 +24,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"privascope"
 	"privascope/internal/core"
@@ -37,13 +40,22 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C cancels in-flight generation/analysis; the run aborts with
+	// context.Canceled and the process exits non-zero instead of being
+	// hard-killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "privarisk: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "privarisk:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("privarisk", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "path to the model document (JSON)")
 	profilePath := fs.String("profile", "", "path to the user profile (JSON)")
@@ -78,11 +90,18 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	generated, err := privascope.GenerateWithOptions(model, opts)
+	// One Engine drives both the base and the mitigated analysis: models are
+	// cached by content fingerprint and the profile's risk analysis is shared
+	// per shape, so re-running with the same inputs never regenerates.
+	engine, err := privascope.NewEngine(privascope.EngineOptions{Generate: opts, Risk: risk.Config{}})
 	if err != nil {
 		return err
 	}
-	assessment, err := privascope.AnalyzeDisclosure(generated, profile, risk.Config{})
+	generated, err := engine.Model(ctx, model)
+	if err != nil {
+		return err
+	}
+	assessment, err := engine.Analyze(ctx, model, profile)
 	if err != nil {
 		return err
 	}
@@ -100,11 +119,10 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("loading mitigated model: %w", err)
 		}
-		mitigatedLTS, err := privascope.GenerateWithOptions(mitigated, opts)
-		if err != nil {
+		if _, err := engine.Model(ctx, mitigated); err != nil {
 			return fmt.Errorf("generating mitigated model: %w", err)
 		}
-		mitigatedAssessment, err := privascope.AnalyzeDisclosure(mitigatedLTS, profile, risk.Config{})
+		mitigatedAssessment, err := engine.Analyze(ctx, mitigated, profile)
 		if err != nil {
 			return err
 		}

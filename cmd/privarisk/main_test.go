@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -42,7 +43,7 @@ func TestRunFullPipeline(t *testing.T) {
 	jsonPath := filepath.Join(dir, "lts.json")
 
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-model", modelPath,
 		"-profile", profilePath,
 		"-mitigated", mitigatedPath,
@@ -69,7 +70,7 @@ func TestRunFullPipeline(t *testing.T) {
 func TestRunMarkdownAndDefaults(t *testing.T) {
 	modelPath, _, _ := writeFixtures(t)
 	var out strings.Builder
-	if err := run([]string{"-model", modelPath, "-markdown", "-ordering", "data-driven"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-model", modelPath, "-markdown", "-ordering", "data-driven"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "# Privacy risk analysis") {
@@ -80,19 +81,19 @@ func TestRunMarkdownAndDefaults(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	modelPath, _, profilePath := writeFixtures(t)
 	var out strings.Builder
-	if err := run(nil, &out); err == nil {
+	if err := run(context.Background(), nil, &out); err == nil {
 		t.Error("missing -model accepted")
 	}
-	if err := run([]string{"-model", "does-not-exist.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", "does-not-exist.json"}, &out); err == nil {
 		t.Error("missing model file accepted")
 	}
-	if err := run([]string{"-model", modelPath, "-ordering", "chaotic"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", modelPath, "-ordering", "chaotic"}, &out); err == nil {
 		t.Error("unknown ordering accepted")
 	}
-	if err := run([]string{"-model", modelPath, "-profile", "missing.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", modelPath, "-profile", "missing.json"}, &out); err == nil {
 		t.Error("missing profile accepted")
 	}
-	if err := run([]string{"-model", modelPath, "-profile", profilePath, "-mitigated", "missing.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", modelPath, "-profile", profilePath, "-mitigated", "missing.json"}, &out); err == nil {
 		t.Error("missing mitigated model accepted")
 	}
 }

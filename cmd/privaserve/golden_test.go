@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -96,7 +97,7 @@ func TestRunReplayGoldenAcrossShardCounts(t *testing.T) {
 	outputs := make(map[int]string)
 	for _, shards := range []int{1, 4, 16} {
 		var out strings.Builder
-		err := run([]string{
+		err := run(context.Background(), []string{
 			"-model", modelPath,
 			"-profile", profilePath,
 			"-events", eventsPath,

@@ -23,6 +23,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,13 +36,22 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C during startup (generation, replay) cancels the in-flight work
+	// and exits non-zero; once the servers are up, the same signal triggers
+	// the graceful "interrupted" shutdown path inside run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "privaserve: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "privaserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("privaserve", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "path to the model document (JSON)")
 	profilePath := fs.String("profile", "", "path to the monitored user's profile (JSON)")
@@ -60,7 +70,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	generated, err := privascope.GenerateWithOptions(model, privascope.GenerateOptions{Workers: *workers})
+	generated, err := privascope.GenerateWithOptionsContext(ctx, model, privascope.GenerateOptions{Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -72,13 +82,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := monitor.RegisterUser(profile); err != nil {
+	if err := monitor.RegisterUserContext(ctx, profile); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "monitor: %d shards\n", monitor.Shards())
 
 	if *eventsPath != "" {
-		if err := replayEvents(*eventsPath, monitor, profile.ID, out); err != nil {
+		if err := replayEvents(ctx, *eventsPath, monitor, profile.ID, out); err != nil {
 			return err
 		}
 	}
@@ -131,8 +141,6 @@ func run(args []string, out io.Writer) error {
 		}
 	}()
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
 	var deadline <-chan time.Time
 	if *duration > 0 {
 		timer := time.NewTimer(*duration)
@@ -173,7 +181,9 @@ func run(args []string, out io.Writer) error {
 					fmt.Fprintf(out, "ALERT [%s]: %s\n", alert.Kind, alert.Message)
 				}
 			}
-		case <-stop:
+		case <-ctx.Done():
+			// Graceful shutdown: the deferred cluster stop and subscription
+			// cancel run on the way out.
 			fmt.Fprintln(out, "privaserve: interrupted")
 			return nil
 		case <-deadline:
@@ -185,8 +195,9 @@ func run(args []string, out io.Writer) error {
 
 // replayEvents feeds a recorded JSON event trace through the monitor's batch
 // path, printing one line per event plus any alerts. Events for users other
-// than the monitored one are skipped.
-func replayEvents(path string, monitor *privascope.Monitor, userID string, out io.Writer) error {
+// than the monitored one are skipped. Cancelling ctx aborts the replay
+// mid-batch.
+func replayEvents(ctx context.Context, path string, monitor *privascope.Monitor, userID string, out io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("reading events: %w", err)
@@ -204,8 +215,11 @@ func replayEvents(path string, monitor *privascope.Monitor, userID string, out i
 		}
 		replay = append(replay, ev)
 	}
-	observations, err := monitor.ObserveBatch(replay)
+	observations, err := monitor.ObserveBatchContext(ctx, replay)
 	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		return fmt.Errorf("replaying events: %w", err)
 	}
 	for i, obs := range observations {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func TestRunServesAndExitsAfterDuration(t *testing.T) {
 	var out strings.Builder
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-model", path, "-duration", "300ms"}, &out)
+		done <- run(context.Background(), []string{"-model", path, "-duration", "300ms"}, &out)
 	}()
 	select {
 	case err := <-done:
@@ -38,17 +39,17 @@ func TestRunServesAndExitsAfterDuration(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run(nil, &out); err == nil {
+	if err := run(context.Background(), nil, &out); err == nil {
 		t.Error("missing -model accepted")
 	}
-	if err := run([]string{"-model", "missing.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", "missing.json"}, &out); err == nil {
 		t.Error("missing model file accepted")
 	}
 	path := filepath.Join(t.TempDir(), "model.json")
 	if err := dataflow.Save(casestudy.Surgery(), path); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-model", path, "-profile", "missing.json", "-duration", "10ms"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-model", path, "-profile", "missing.json", "-duration", "10ms"}, &out); err == nil {
 		t.Error("missing profile accepted")
 	}
 }

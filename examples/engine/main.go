@@ -1,0 +1,134 @@
+// Engine: the generate-once/analyse-many session API. One long-lived
+// privascope.Engine serves concurrent assessment requests: the privacy LTS
+// is generated exactly once per model (cached by content fingerprint, even
+// across independently-built copies of the model), risk analyses are shared
+// across same-shaped user profiles, and every call takes a context so a
+// server can attach deadlines or cancel on shutdown.
+//
+// Run with:
+//
+//	go run ./examples/engine
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+
+	"privascope"
+)
+
+func main() {
+	// The root context: Ctrl-C cancels any in-flight generation or analysis
+	// cleanly instead of killing the process mid-work.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	engine, err := privascope.NewEngine(privascope.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve 100 concurrent assessment "requests". Each request builds its
+	// own copy of the model — as a server decoding the same model document
+	// per request would — yet the engine runs one single generation: the
+	// cache is keyed by content fingerprint, and concurrent first requests
+	// block on the one in-flight generation instead of duplicating it.
+	const requests = 100
+	var wg sync.WaitGroup
+	risks := make([]privascope.RiskLevel, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			model, err := buildClinicModel()
+			if err != nil {
+				log.Fatal(err)
+			}
+			profile := privascope.UserProfile{
+				ID:                 fmt.Sprintf("user-%03d", i),
+				ConsentedServices:  []string{"care"},
+				Sensitivities:      map[string]float64{"diagnosis": privascope.SensitivityHigh},
+				DefaultSensitivity: 0.1,
+			}
+			result, err := engine.Assess(ctx, model, profile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			risks[i] = result.Assessment.OverallRisk
+		}(i)
+	}
+	wg.Wait()
+
+	fmt.Printf("assessed %d users; overall risk of the first: %s\n", requests, risks[0])
+	fmt.Printf("LTS generations actually run: %d (one model, one generation)\n", engine.Generations())
+	modelHits, modelMisses := engine.ModelCacheStats()
+	fmt.Printf("model cache: %d hits / %d misses\n", modelHits, modelMisses)
+	assessHits, assessMisses := engine.AssessmentCacheStats()
+	fmt.Printf("assessment cache: %d hits / %d misses (all %d users share one profile shape)\n",
+		assessHits, assessMisses, requests)
+
+	// The same engine powers population scans and runtime monitors against
+	// the cached model; neither triggers another generation.
+	model, err := buildClinicModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiles := make([]privascope.UserProfile, 50)
+	for i := range profiles {
+		profiles[i] = privascope.UserProfile{
+			ID: fmt.Sprintf("sim-%03d", i), ConsentedServices: []string{"care"}, DefaultSensitivity: 0.5,
+		}
+	}
+	population, err := engine.AssessPopulation(ctx, model, profiles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("population: %d users, %d at risk, %d distinct shapes analysed\n",
+		len(population.Users), population.UsersAtRisk, population.DistinctShapes)
+	fmt.Printf("LTS generations after population scan: %d\n", engine.Generations())
+}
+
+// buildClinicModel assembles the quickstart clinic model; see
+// examples/quickstart for the annotated walkthrough.
+func buildClinicModel() (*privascope.Model, error) {
+	acl, err := privascope.NewACL(
+		privascope.Grant{
+			Actor: "doctor", Datastore: "ehr",
+			Fields:      []string{privascope.AllFields},
+			Permissions: []privascope.Permission{privascope.PermissionRead, privascope.PermissionWrite},
+			Reason:      "clinical care",
+		},
+		privascope.Grant{
+			Actor: "it_admin", Datastore: "ehr",
+			Fields:      []string{privascope.AllFields},
+			Permissions: []privascope.Permission{privascope.PermissionRead},
+			Reason:      "system maintenance",
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	builder := privascope.NewModelBuilder("engine-clinic",
+		privascope.Actor{ID: "patient", Name: "Patient"})
+	builder.AddActors(
+		privascope.Actor{ID: "doctor", Name: "Doctor"},
+		privascope.Actor{ID: "it_admin", Name: "IT Administrator"},
+	)
+	builder.AddDatastore(privascope.Datastore{
+		ID: "ehr", Name: "Electronic Health Record",
+		Schema: privascope.Schema{Name: "ehr", Fields: []privascope.Field{
+			{Name: "name", Category: privascope.CategoryIdentifier},
+			{Name: "diagnosis", Category: privascope.CategorySensitive},
+		}},
+	})
+	builder.AddService(privascope.Service{ID: "care", Name: "Care Service",
+		Purpose: "diagnose and treat the patient"})
+	builder.Flow("care", "patient", "doctor", []string{"name", "diagnosis"}, "consultation")
+	builder.Flow("care", "doctor", "ehr", []string{"name", "diagnosis"}, "record consultation")
+	builder.WithPolicy(acl)
+	return builder.Build()
+}

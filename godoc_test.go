@@ -12,12 +12,15 @@ import (
 )
 
 // TestGodocCompleteness is the documentation gate CI runs: every exported
-// symbol of the scaled analysis packages must carry a doc comment. The
-// anonymization/value-risk pipeline is the part of the library external
-// tooling scripts against, so an undocumented export there is treated as a
-// build break, not a style nit.
+// symbol of the public facade and the scaled analysis packages must carry a
+// doc comment. The root privascope package — including the Engine and every
+// ...Context entry point — is the documented surface external code builds
+// against, and the anonymization/value-risk pipeline is the part external
+// tooling scripts against, so an undocumented export in any of them is
+// treated as a build break, not a style nit.
 func TestGodocCompleteness(t *testing.T) {
 	for _, dir := range []string{
+		".", // the root privascope package: facade + Engine
 		filepath.Join("internal", "anonymize"),
 		filepath.Join("internal", "pseudorisk"),
 	} {

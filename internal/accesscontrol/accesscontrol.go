@@ -346,6 +346,25 @@ func (r *RBAC) Assign(actor, roleName string) error {
 	return nil
 }
 
+// Roles returns a deep copy of the registered roles, sorted by name: the
+// grant structs and their Fields/Permissions slices are all copied, so
+// callers cannot mutate the policy through the result.
+func (r *RBAC) Roles() []Role {
+	out := make([]Role, 0, len(r.roles))
+	for _, role := range r.roles {
+		copied := role
+		copied.Grants = make([]Grant, len(role.Grants))
+		for i, g := range role.Grants {
+			g.Fields = append([]string(nil), g.Fields...)
+			g.Permissions = append([]Permission(nil), g.Permissions...)
+			copied.Grants[i] = g
+		}
+		out = append(out, copied)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // RolesOf returns the sorted role names assigned to the actor.
 func (r *RBAC) RolesOf(actor string) []string {
 	out := append([]string(nil), r.assignments[actor]...)
@@ -409,6 +428,11 @@ type Composite struct {
 // NewComposite builds a composite from the given member policies.
 func NewComposite(policies ...Policy) *Composite {
 	return &Composite{policies: append([]Policy(nil), policies...)}
+}
+
+// Policies returns a copy of the member policies, in evaluation order.
+func (c *Composite) Policies() []Policy {
+	return append([]Policy(nil), c.policies...)
 }
 
 // Allows implements Policy.

@@ -1,0 +1,106 @@
+package anonymize_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"privascope/internal/anonymize"
+	"privascope/internal/synth"
+	"privascope/internal/testutil"
+)
+
+func cancelTestTable() *anonymize.Table {
+	// Big enough that the parallel chunked paths actually engage
+	// (minChunkRows is 1024).
+	return synth.HealthRecords(synth.HealthRecordsOptions{Rows: 30_000, Seed: 7})
+}
+
+func TestValueRisksContextPreCancelled(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	table := cancelTestTable()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := anonymize.ValueRisksContext(ctx, table, anonymize.ValueRiskOptions{
+		VisibleColumns: []string{"age", "height"},
+		TargetColumn:   "weight",
+		Closeness:      5,
+		Workers:        4,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestValueRisksContextBackgroundMatchesValueRisks(t *testing.T) {
+	table := cancelTestTable()
+	opts := anonymize.ValueRiskOptions{
+		VisibleColumns: []string{"age"},
+		TargetColumn:   "weight",
+		Closeness:      5,
+		Workers:        4,
+	}
+	direct, err := anonymize.ValueRisks(table, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaContext, err := anonymize.ValueRisksContext(context.Background(), table, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(viaContext) {
+		t.Fatalf("length mismatch: %d vs %d", len(direct), len(viaContext))
+	}
+	for i := range direct {
+		if direct[i] != viaContext[i] {
+			t.Fatalf("row %d: %v vs %v", i, direct[i], viaContext[i])
+		}
+	}
+}
+
+func TestClassIndexCancelledBuildIsNotCached(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	table := cancelTestTable()
+	index := anonymize.NewClassIndex(table, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := index.ClassesContext(ctx, []string{"age", "height"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// The aborted build must not poison the index: a live caller recomputes
+	// and gets the real partition.
+	classes, err := index.ClassesContext(context.Background(), []string{"age", "height"})
+	if err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	want, err := table.EquivalenceClasses([]string{"age", "height"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != len(want) {
+		t.Fatalf("classes = %d, want %d", len(classes), len(want))
+	}
+}
+
+func TestClassIndexWaiterHonoursOwnContext(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	table := cancelTestTable()
+	index := anonymize.NewClassIndex(table, 2)
+
+	// A waiter with an already-expired deadline must not block behind a
+	// concurrent build for longer than its context allows.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // ensure expiry
+	start := time.Now()
+	_, err := index.ClassesContext(ctx, []string{"age"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("expired waiter blocked for %v", elapsed)
+	}
+}

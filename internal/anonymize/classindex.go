@@ -1,12 +1,14 @@
 package anonymize
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
+
+	"privascope/internal/flight"
 )
 
 // ClassIndex computes and caches the equivalence classes of one table. The
@@ -29,32 +31,19 @@ import (
 // for any worker count (the same merge discipline as the LTS generator's
 // sharded visited set).
 //
-// A ClassIndex is safe for concurrent use. The indexed table must not be
-// mutated while the index is alive; mutate a clone or build a fresh index
-// instead.
+// A ClassIndex is safe for concurrent use. Both caches are single-flighted
+// with context support (internal/flight): concurrent requests for the same
+// partition share one computation, a caller waiting on another's build can
+// abandon the wait when its own context is done, and a build aborted by
+// cancellation is forgotten rather than cached, so one cancelled caller never
+// poisons the index for others. The indexed table must not be mutated while
+// the index is alive; mutate a clone or build a fresh index instead.
 type ClassIndex struct {
 	table   *Table
 	workers int
 
-	mu      sync.Mutex
-	colKeys map[int]*colKeysEntry
-	classes map[string]*classEntry
-
-	hits   atomic.Int64
-	misses atomic.Int64
-}
-
-// colKeysEntry is the once-computed per-row group keys of one column.
-type colKeysEntry struct {
-	once sync.Once
-	keys []string
-}
-
-// classEntry is the once-computed class partition of one column set.
-type classEntry struct {
-	once    sync.Once
-	classes [][]int
-	err     error
+	colKeys flight.Group[int, []string]
+	classes flight.Group[string, [][]int]
 }
 
 // NewClassIndex builds an empty index over the table. workers sets the
@@ -65,12 +54,7 @@ func NewClassIndex(t *Table, workers int) *ClassIndex {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &ClassIndex{
-		table:   t,
-		workers: workers,
-		colKeys: make(map[int]*colKeysEntry),
-		classes: make(map[string]*classEntry),
-	}
+	return &ClassIndex{table: t, workers: workers}
 }
 
 // Table returns the indexed table.
@@ -80,37 +64,31 @@ func (ix *ClassIndex) Table() *Table { return ix.table }
 func (ix *ClassIndex) Workers() int { return ix.workers }
 
 // Hits returns how many Classes calls were served from the cache.
-func (ix *ClassIndex) Hits() int64 { return ix.hits.Load() }
+func (ix *ClassIndex) Hits() int64 { return ix.classes.Hits() }
 
 // Misses returns how many Classes calls computed a fresh partition.
-func (ix *ClassIndex) Misses() int64 { return ix.misses.Load() }
+func (ix *ClassIndex) Misses() int64 { return ix.classes.Misses() }
 
 // Classes returns the equivalence classes of the rows over the given
 // columns, computing them at most once per distinct column sequence. The
 // result is shared between callers and must be treated as read-only. It is
 // identical to Table.EquivalenceClasses(columns) for the same column order.
 func (ix *ClassIndex) Classes(columns []string) ([][]int, error) {
+	return ix.ClassesContext(context.Background(), columns)
+}
+
+// ClassesContext is Classes with cancellation: the class build polls ctx at
+// chunk boundaries, and a caller blocked on another caller's in-flight build
+// returns its own ctx.Err() as soon as ctx is done. A build aborted by
+// cancellation is not cached; the next caller recomputes it.
+func (ix *ClassIndex) ClassesContext(ctx context.Context, columns []string) ([][]int, error) {
 	idxs, err := ix.table.resolveColumns(columns)
 	if err != nil {
 		return nil, err
 	}
-	key := classCacheKey(idxs)
-	ix.mu.Lock()
-	entry, ok := ix.classes[key]
-	if !ok {
-		entry = &classEntry{}
-		ix.classes[key] = entry
-	}
-	ix.mu.Unlock()
-	if ok {
-		ix.hits.Add(1)
-	} else {
-		ix.misses.Add(1)
-	}
-	entry.once.Do(func() {
-		entry.classes = buildClassesKeyed(ix.table, idxs, ix.workers, ix.keysFor)
+	return ix.classes.Do(ctx, classCacheKey(idxs), func(ctx context.Context) ([][]int, error) {
+		return buildClassesKeyed(ctx, ix.table, idxs, ix.workers, ix.keysFor)
 	})
-	return entry.classes, entry.err
 }
 
 // classCacheKey canonically encodes a column index sequence. Column order
@@ -129,55 +107,66 @@ func classCacheKey(idxs []int) string {
 
 // keysFor returns the cached per-row group keys of one column, computing
 // them on first use with the index's worker pool.
-func (ix *ClassIndex) keysFor(col int) []string {
-	ix.mu.Lock()
-	entry, ok := ix.colKeys[col]
-	if !ok {
-		entry = &colKeysEntry{}
-		ix.colKeys[col] = entry
-	}
-	ix.mu.Unlock()
-	entry.once.Do(func() {
-		entry.keys = columnGroupKeys(ix.table, col, ix.workers)
+func (ix *ClassIndex) keysFor(ctx context.Context, col int) ([]string, error) {
+	return ix.colKeys.Do(ctx, col, func(ctx context.Context) ([]string, error) {
+		return columnGroupKeys(ctx, ix.table, col, ix.workers)
 	})
-	return entry.keys
 }
 
 // columnGroupKeys renders GroupKey for every cell of one column, splitting
 // the rows across workers. Each worker writes a disjoint range, so the
 // result does not depend on scheduling.
-func columnGroupKeys(t *Table, col, workers int) []string {
+func columnGroupKeys(ctx context.Context, t *Table, col, workers int) ([]string, error) {
 	n := t.nrows
 	keys := make([]string, n)
 	values := t.cols[col]
-	parallelRows(n, workers, func(lo, hi int) {
+	err := parallelRows(ctx, n, workers, func(ctx context.Context, lo, hi int) error {
 		for r := lo; r < hi; r++ {
+			if r&rowCancelCheckMask == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			keys[r] = values[r].GroupKey()
 		}
+		return nil
 	})
-	return keys
+	if err != nil {
+		return nil, err
+	}
+	return keys, nil
 }
 
 // buildClasses groups the rows by their composite group key over the given
 // column indices, computing keys directly from the cells.
 func buildClasses(t *Table, idxs []int, workers int) [][]int {
-	return buildClassesKeyed(t, idxs, workers, func(col int) []string {
-		return columnGroupKeys(t, col, workers)
+	// A background context cannot fail, and no key source below can error,
+	// so the error is structurally nil here.
+	classes, _ := buildClassesContext(context.Background(), t, idxs, workers)
+	return classes
+}
+
+// buildClassesContext is buildClasses with cancellation at chunk boundaries.
+func buildClassesContext(ctx context.Context, t *Table, idxs []int, workers int) ([][]int, error) {
+	return buildClassesKeyed(ctx, t, idxs, workers, func(ctx context.Context, col int) ([]string, error) {
+		return columnGroupKeys(ctx, t, col, workers)
 	})
 }
 
-// buildClassesKeyed is buildClasses with a pluggable per-column key source,
-// so a ClassIndex can share key slices across partitions.
+// buildClassesKeyed is buildClassesContext with a pluggable per-column key
+// source, so a ClassIndex can share key slices across partitions.
 //
 // Grouping fans out over contiguous row chunks. Each worker fills a private
 // map for its chunk; the merge walks the chunk maps in chunk order, so every
 // key's member list is the concatenation of ascending sub-ranges — the exact
 // row order a sequential pass produces. Group order is sorted by key, as in
-// Table.EquivalenceClasses.
-func buildClassesKeyed(t *Table, idxs []int, workers int, keysFor func(col int) []string) [][]int {
+// Table.EquivalenceClasses. Workers poll ctx every rowCancelCheckMask+1 rows
+// and the pool is joined before returning, so cancellation is prompt and
+// leak-free.
+func buildClassesKeyed(ctx context.Context, t *Table, idxs []int, workers int, keysFor func(ctx context.Context, col int) ([]string, error)) ([][]int, error) {
 	n := t.nrows
 	if n == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	// No grouping columns: every row is indistinguishable, one shared class.
 	if len(idxs) == 0 {
@@ -185,12 +174,16 @@ func buildClassesKeyed(t *Table, idxs []int, workers int, keysFor func(col int) 
 		for i := range all {
 			all[i] = i
 		}
-		return [][]int{all}
+		return [][]int{all}, nil
 	}
 
 	colKeys := make([][]string, len(idxs))
 	for j, idx := range idxs {
-		colKeys[j] = keysFor(idx)
+		keys, err := keysFor(ctx, idx)
+		if err != nil {
+			return nil, err
+		}
+		colKeys[j] = keys
 	}
 	// Composite keys are length-prefixed so the encoding is injective: a
 	// separator character could appear inside a categorical value and alias
@@ -211,6 +204,7 @@ func buildClassesKeyed(t *Table, idxs []int, workers int, keysFor func(col int) 
 
 	chunks := rowChunks(n, workers)
 	chunkGroups := make([]map[string][]int, len(chunks))
+	chunkErrs := make([]error, len(chunks))
 	var wg sync.WaitGroup
 	for c, chunk := range chunks {
 		wg.Add(1)
@@ -218,6 +212,12 @@ func buildClassesKeyed(t *Table, idxs []int, workers int, keysFor func(col int) 
 			defer wg.Done()
 			groups := make(map[string][]int)
 			for r := lo; r < hi; r++ {
+				if r&rowCancelCheckMask == 0 {
+					if err := ctx.Err(); err != nil {
+						chunkErrs[c] = err
+						return
+					}
+				}
 				key := rowKey(r)
 				groups[key] = append(groups[key], r)
 			}
@@ -225,6 +225,11 @@ func buildClassesKeyed(t *Table, idxs []int, workers int, keysFor func(col int) 
 		}(c, chunk[0], chunk[1])
 	}
 	wg.Wait()
+	for _, err := range chunkErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	// Deterministic merge: chunk maps are walked in chunk order, so member
 	// sub-lists concatenate in ascending row order; groups sort by key.
@@ -243,7 +248,7 @@ func buildClassesKeyed(t *Table, idxs []int, workers int, keysFor func(col int) 
 	for _, k := range keys {
 		out = append(out, merged[k])
 	}
-	return out
+	return out, nil
 }
 
 // rowChunks splits [0, n) into up to `workers` contiguous ranges of
@@ -275,21 +280,37 @@ func rowChunks(n, workers int) [][2]int {
 // rows per chunk the goroutine handoff costs more than the grouping.
 const minChunkRows = 1024
 
+// rowCancelCheckMask spaces out ctx polls on per-row hot loops: a worker
+// polls whenever its row index is a multiple of 4096, i.e. at least once
+// every 4096 rows within its range (a chunk shorter than that may not poll
+// at all, which is fine — its remaining work is bounded). This keeps the
+// poll cost invisible while bounding cancellation latency to microseconds
+// of work.
+const rowCancelCheckMask = 4095
+
 // parallelRows runs fn over contiguous sub-ranges of [0, n) using up to
-// `workers` goroutines. fn must only touch its own range.
-func parallelRows(n, workers int, fn func(lo, hi int)) {
+// `workers` goroutines. fn must only touch its own range; it receives ctx so
+// it can poll for cancellation, and the first non-nil error (in chunk order)
+// is returned after all workers are joined.
+func parallelRows(ctx context.Context, n, workers int, fn func(ctx context.Context, lo, hi int) error) error {
 	chunks := rowChunks(n, workers)
 	if len(chunks) == 1 {
-		fn(chunks[0][0], chunks[0][1])
-		return
+		return fn(ctx, chunks[0][0], chunks[0][1])
 	}
+	errs := make([]error, len(chunks))
 	var wg sync.WaitGroup
-	for _, chunk := range chunks {
+	for c, chunk := range chunks {
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(c, lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
-		}(chunk[0], chunk[1])
+			errs[c] = fn(ctx, lo, hi)
+		}(c, chunk[0], chunk[1])
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

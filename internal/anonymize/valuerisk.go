@@ -1,6 +1,7 @@
 package anonymize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -71,6 +72,14 @@ type ValueRiskOptions struct {
 // independent and each worker writes only its sets' rows, so the output is
 // byte-identical for any worker count.
 func ValueRisks(t *Table, opts ValueRiskOptions) ([]ValueRisk, error) {
+	return ValueRisksContext(context.Background(), t, opts)
+}
+
+// ValueRisksContext is ValueRisks with cancellation: class building polls ctx
+// at row-chunk boundaries and scoring polls it between equivalence sets, so a
+// cancelled context aborts the computation promptly, returns ctx.Err(), and
+// joins every scoring goroutine before returning (none leak).
+func ValueRisksContext(ctx context.Context, t *Table, opts ValueRiskOptions) ([]ValueRisk, error) {
 	if t == nil {
 		return nil, errors.New("anonymize: table must not be nil")
 	}
@@ -85,7 +94,7 @@ func ValueRisks(t *Table, opts ValueRiskOptions) ([]ValueRisk, error) {
 		return nil, errors.New("anonymize: class index was built for a different table")
 	}
 
-	classes, err := valueRiskClasses(t, opts)
+	classes, err := valueRiskClasses(ctx, t, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -101,13 +110,19 @@ func ValueRisks(t *Table, opts ValueRiskOptions) ([]ValueRisk, error) {
 		workers = len(classes)
 	}
 	if workers <= 1 {
-		for _, class := range classes {
+		for i, class := range classes {
+			if i&classCancelCheckMask == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			scoreClass(class)
 		}
 		return risks, nil
 	}
 	// Each class touches a disjoint set of rows, so workers can pull classes
-	// from a shared counter and write results without coordination.
+	// from a shared counter and write results without coordination. Workers
+	// poll ctx between classes and are joined before returning.
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -116,7 +131,7 @@ func ValueRisks(t *Table, opts ValueRiskOptions) ([]ValueRisk, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(classes) {
+				if i >= len(classes) || ctx.Err() != nil {
 					return
 				}
 				scoreClass(classes[i])
@@ -124,8 +139,16 @@ func ValueRisks(t *Table, opts ValueRiskOptions) ([]ValueRisk, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return risks, nil
 }
+
+// classCancelCheckMask spaces ctx polls on the sequential scoring loop; an
+// equivalence set can be scored in nanoseconds (singleton sets), so checking
+// every set would be measurable on tables with millions of classes.
+const classCancelCheckMask = 255
 
 // quadraticClassCutoff is the class size below which the direct pairwise
 // frequency scan beats the sorted-bounds counting path (no allocations, no
@@ -238,7 +261,7 @@ func scoreClassQuadratic(risks []ValueRisk, class []int, target []Value, closene
 // valueRiskClasses resolves the equivalence sets for the options: the whole
 // table as one set when nothing is visible, otherwise the (possibly cached)
 // class partition over the visible columns.
-func valueRiskClasses(t *Table, opts ValueRiskOptions) ([][]int, error) {
+func valueRiskClasses(ctx context.Context, t *Table, opts ValueRiskOptions) ([][]int, error) {
 	for _, c := range opts.VisibleColumns {
 		if _, ok := t.ColumnIndex(c); !ok {
 			return nil, fmt.Errorf("anonymize: unknown visible column %q", c)
@@ -252,13 +275,13 @@ func valueRiskClasses(t *Table, opts ValueRiskOptions) ([][]int, error) {
 		return [][]int{all}, nil
 	}
 	if opts.Index != nil {
-		return opts.Index.Classes(opts.VisibleColumns)
+		return opts.Index.ClassesContext(ctx, opts.VisibleColumns)
 	}
 	idxs, err := t.resolveColumns(opts.VisibleColumns)
 	if err != nil {
 		return nil, err
 	}
-	return buildClasses(t, idxs, opts.Workers), nil
+	return buildClassesContext(ctx, t, idxs, opts.Workers)
 }
 
 // CountViolations returns how many records' value risk meets or exceeds the

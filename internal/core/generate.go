@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -161,7 +162,26 @@ func GenerateWithOptions(m *dataflow.Model, opts Options) (*PrivacyLTS, error) {
 	return NewGenerator(opts).Generate(m)
 }
 
-// Generate builds the privacy LTS for the model.
+// GenerateContext builds the privacy LTS with default options, honouring
+// cancellation and deadlines carried by ctx.
+func GenerateContext(ctx context.Context, m *dataflow.Model) (*PrivacyLTS, error) {
+	return NewGenerator(Options{}).GenerateContext(ctx, m)
+}
+
+// GenerateWithOptionsContext builds the privacy LTS using the supplied
+// options, honouring cancellation and deadlines carried by ctx.
+func GenerateWithOptionsContext(ctx context.Context, m *dataflow.Model, opts Options) (*PrivacyLTS, error) {
+	return NewGenerator(opts).GenerateContext(ctx, m)
+}
+
+// Generate builds the privacy LTS for the model. It is GenerateContext with
+// a background context: generation runs to completion (or error) without an
+// external cancellation point.
+func (g *Generator) Generate(m *dataflow.Model) (*PrivacyLTS, error) {
+	return g.GenerateContext(context.Background(), m)
+}
+
+// GenerateContext builds the privacy LTS for the model.
 //
 // Exploration is a level-synchronised parallel BFS over a compact binary
 // state encoding: the model is compiled once (per-flow gate and effect
@@ -170,7 +190,13 @@ func GenerateWithOptions(m *dataflow.Model, opts Options) (*PrivacyLTS, error) {
 // visited set, and the discoveries are merged on one goroutine in frontier
 // order, which makes state numbering and transition order deterministic
 // regardless of the worker count.
-func (g *Generator) Generate(m *dataflow.Model) (*PrivacyLTS, error) {
+//
+// Cancellation is observed at state granularity: every exploration worker
+// polls ctx before expanding each frontier state and the merge loop polls it
+// between generations, so a cancelled context aborts mid-BFS and returns
+// ctx.Err() promptly, with every worker goroutine joined before the call
+// returns (none leak).
+func (g *Generator) GenerateContext(ctx context.Context, m *dataflow.Model) (*PrivacyLTS, error) {
 	if m == nil {
 		return nil, errors.New("core: model must not be nil")
 	}
@@ -216,11 +242,16 @@ func (g *Generator) Generate(m *dataflow.Model) (*PrivacyLTS, error) {
 	frontierIDs := []lts.StateID{initID}
 
 	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Expansion phase: workers grab frontier states and compute their
 		// successor candidates, including (speculatively, for states not yet
 		// in the visited set) the public vector and store contents.
 		results := make([][]candidate, len(frontier))
-		g.expandFrontier(cm, visited, frontier, results)
+		if err := g.expandFrontier(ctx, cm, visited, frontier, results); err != nil {
+			return nil, err
+		}
 
 		// Merge phase: single-threaded, in frontier order, so registration
 		// order — and with it every state ID — is deterministic.
@@ -261,17 +292,25 @@ func (g *Generator) Generate(m *dataflow.Model) (*PrivacyLTS, error) {
 }
 
 // expandFrontier distributes the frontier over the worker pool; results[i]
-// receives the candidates of frontier[i].
-func (g *Generator) expandFrontier(cm *compiledModel, visited *visitedSet, frontier []packedState, results [][]candidate) {
+// receives the candidates of frontier[i]. Workers poll ctx before expanding
+// each state and the pool is always joined before returning, so cancellation
+// is prompt and leaks nothing; the partially-filled results are discarded by
+// the caller when an error is returned.
+func (g *Generator) expandFrontier(ctx context.Context, cm *compiledModel, visited *visitedSet, frontier []packedState, results [][]candidate) error {
 	workers := g.opts.Workers
 	if workers > len(frontier) {
 		workers = len(frontier)
 	}
 	if workers <= 1 {
 		for i, ps := range frontier {
+			if i&cancelCheckMask == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			results[i] = cm.expand(ps, visited, g.opts.PotentialReads)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -281,7 +320,7 @@ func (g *Generator) expandFrontier(cm *compiledModel, visited *visitedSet, front
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(frontier) {
+				if i >= len(frontier) || ctx.Err() != nil {
 					return
 				}
 				results[i] = cm.expand(frontier[i], visited, g.opts.PotentialReads)
@@ -289,7 +328,13 @@ func (g *Generator) expandFrontier(cm *compiledModel, visited *visitedSet, front
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
+
+// cancelCheckMask spaces out ctx polls on sequential hot loops: checking
+// every state would put an atomic load in front of each (cheap) expansion,
+// checking every 64th keeps cancellation latency far below a millisecond.
+const cancelCheckMask = 63
 
 // deriveAction applies the paper's extraction rules to a flow.
 func deriveAction(m *dataflow.Model, f dataflow.Flow) (Action, bool) {

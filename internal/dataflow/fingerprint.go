@@ -1,0 +1,117 @@
+package dataflow
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strconv"
+
+	"privascope/internal/accesscontrol"
+)
+
+// Fingerprint returns a collision-resistant canonical fingerprint of the
+// model: the hex SHA-256 of the model's canonical JSON document together
+// with a canonical, injective encoding of the attached access-control
+// policy. Semantically different models never share a fingerprint, and two
+// builds of the same model — same actors, datastores, schemas, services,
+// flows (in declared order, which is semantically meaningful), grants,
+// roles and assignments, each in the same declaration order — always do.
+// The converse direction is deliberately conservative: declaration order of
+// grants is part of the fingerprint even though it only affects explanation
+// text, so two policies listing the same grants in different orders hash
+// differently (a harmless extra cache entry, never a wrong share).
+//
+// The fingerprint is what lets a long-lived cache (privascope.Engine) key
+// generated privacy models by value rather than by pointer, so two loads of
+// the same model document share one generation.
+//
+// Policies of types other than the package's own ACL, RBAC and Composite
+// cannot be canonically encoded and yield an error; callers should treat
+// such models as unfingerprintable (and skip caching) rather than guess.
+func Fingerprint(m *Model) (string, error) {
+	if m == nil {
+		return "", fmt.Errorf("dataflow: cannot fingerprint nil model")
+	}
+	data, err := Marshal(m)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(data)
+	// Marshal already encodes ACL policies, but the policy is re-encoded
+	// uniformly here so that (a) RBAC and Composite policies — which Marshal
+	// omits — contribute, and (b) a nil policy is distinguishable from an
+	// empty ACL.
+	if err := writePolicyCanonical(h, m.Policy); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// writePolicyCanonical writes an injective encoding of the policy: every
+// variable-length string is length-prefixed, and each policy type carries a
+// distinct tag, so no two different policies render identically.
+func writePolicyCanonical(w io.Writer, p accesscontrol.Policy) error {
+	switch policy := p.(type) {
+	case nil:
+		io.WriteString(w, "|policy:none")
+	case *accesscontrol.ACL:
+		io.WriteString(w, "|policy:acl")
+		for _, g := range policy.Grants() {
+			writeGrantCanonical(w, g)
+		}
+	case *accesscontrol.RBAC:
+		io.WriteString(w, "|policy:rbac")
+		for _, role := range policy.Roles() {
+			io.WriteString(w, "|role")
+			writeString(w, role.Name)
+			for _, g := range role.Grants {
+				writeGrantCanonical(w, g)
+			}
+		}
+		for _, actor := range policy.Actors() {
+			io.WriteString(w, "|assign")
+			writeString(w, actor)
+			for _, role := range policy.RolesOf(actor) {
+				writeString(w, role)
+			}
+		}
+	case *accesscontrol.Composite:
+		io.WriteString(w, "|policy:composite[")
+		for _, member := range policy.Policies() {
+			if err := writePolicyCanonical(w, member); err != nil {
+				return err
+			}
+		}
+		io.WriteString(w, "]")
+	default:
+		return fmt.Errorf("dataflow: cannot fingerprint policy of type %T; use ACL, RBAC or Composite (or cache by identity instead)", p)
+	}
+	return nil
+}
+
+// writeGrantCanonical writes one grant with length-prefixed fields.
+func writeGrantCanonical(w io.Writer, g accesscontrol.Grant) {
+	io.WriteString(w, "|grant")
+	writeString(w, g.Actor)
+	writeString(w, g.Datastore)
+	for _, f := range g.Fields {
+		writeString(w, f)
+	}
+	io.WriteString(w, ";perms")
+	for _, p := range g.Permissions {
+		io.WriteString(w, ":")
+		io.WriteString(w, strconv.Itoa(int(p)))
+	}
+	writeString(w, g.Reason)
+}
+
+// writeString writes one length-prefixed string, so concatenated fields
+// cannot alias across boundaries.
+func writeString(w io.Writer, s string) {
+	io.WriteString(w, ";")
+	io.WriteString(w, strconv.Itoa(len(s)))
+	io.WriteString(w, ":")
+	io.WriteString(w, s)
+}

@@ -1,0 +1,197 @@
+package flight
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoComputesOncePerKey(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int64
+	const callers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+				calls.Add(1)
+				time.Sleep(5 * time.Millisecond) // widen the race window
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v; want 42, nil", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("computation ran %d times, want 1", got)
+	}
+	if g.Size() != 1 {
+		t.Errorf("Size = %d, want 1", g.Size())
+	}
+	if g.Misses() != 1 || g.Hits() != callers-1 {
+		t.Errorf("hits/misses = %d/%d, want %d/1", g.Hits(), g.Misses(), callers-1)
+	}
+}
+
+func TestDoDistinctKeysDoNotShare(t *testing.T) {
+	var g Group[int, int]
+	for key := 0; key < 10; key++ {
+		v, err := g.Do(context.Background(), key, func(context.Context) (int, error) {
+			return key * key, nil
+		})
+		if err != nil || v != key*key {
+			t.Fatalf("Do(%d) = %d, %v", key, v, err)
+		}
+	}
+	if g.Size() != 10 {
+		t.Errorf("Size = %d, want 10", g.Size())
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	var g Group[string, int]
+	boom := errors.New("boom")
+	if _, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+		return 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if g.Size() != 0 {
+		t.Fatalf("failed entry was cached (size %d)", g.Size())
+	}
+	v, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+		return 7, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("retry after error = %d, %v; want 7, nil", v, err)
+	}
+}
+
+func TestWaiterCancellationDoesNotAffectLeader(t *testing.T) {
+	var g Group[string, int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.Do(ctx, "k", func(context.Context) (int, error) {
+		t.Error("waiter must not compute")
+		return 0, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v, want nil", err)
+	}
+	if v, ok := g.Cached("k"); !ok || v != 1 {
+		t.Fatalf("Cached = %d, %v; want 1, true", v, ok)
+	}
+}
+
+func TestLeaderCancellationElectsNewLeader(t *testing.T) {
+	var g Group[string, int]
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := g.Do(leaderCtx, "k", func(ctx context.Context) (int, error) {
+			close(started)
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	// This waiter has a live context: when the leader is cancelled it must
+	// retry, become the new leader, and succeed.
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		v, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			return 99, nil
+		})
+		if err != nil || v != 99 {
+			t.Errorf("waiter after leader cancellation = %d, %v; want 99, nil", v, err)
+		}
+	}()
+
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	<-waiterDone
+}
+
+func TestLeaderPanicDoesNotWedgeKey(t *testing.T) {
+	var g Group[string, int]
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader's panic was swallowed")
+			}
+		}()
+		_, _ = g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			panic("boom")
+		})
+	}()
+
+	// The key must be usable again: the panicked entry was forgotten and its
+	// done channel closed, so this neither blocks nor returns stale state.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			return 11, nil
+		})
+		if err != nil || v != 11 {
+			t.Errorf("Do after panic = %d, %v; want 11, nil", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do after a panicked leader blocked: key is wedged")
+	}
+}
+
+func TestForget(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int64
+	compute := func(context.Context) (int, error) {
+		calls.Add(1)
+		return 5, nil
+	}
+	if _, err := g.Do(context.Background(), "k", compute); err != nil {
+		t.Fatal(err)
+	}
+	g.Forget("k")
+	if _, err := g.Do(context.Background(), "k", compute); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("computation ran %d times after Forget, want 2", calls.Load())
+	}
+}

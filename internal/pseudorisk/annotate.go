@@ -1,6 +1,7 @@
 package pseudorisk
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -88,6 +89,13 @@ type Options struct {
 // f_anon but not to f itself; AnalyzeLTS verifies this against the model's
 // access-control policy and returns an error otherwise.
 func AnalyzeLTS(p *core.PrivacyLTS, opts Options) (*Annotation, error) {
+	return AnalyzeLTSContext(context.Background(), p, opts)
+}
+
+// AnalyzeLTSContext is AnalyzeLTS with cancellation: ctx is polled between
+// at-risk states and threaded into every dataset evaluation, so a cancelled
+// context aborts the annotation promptly with ctx.Err().
+func AnalyzeLTSContext(ctx context.Context, p *core.PrivacyLTS, opts Options) (*Annotation, error) {
 	if p == nil {
 		return nil, errors.New("pseudorisk: privacy LTS must not be nil")
 	}
@@ -128,6 +136,9 @@ func AnalyzeLTS(p *core.PrivacyLTS, opts Options) (*Annotation, error) {
 		return nil, err
 	}
 	for _, id := range p.Graph.StateIDs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !reachable[id] {
 			continue
 		}
@@ -150,7 +161,7 @@ func AnalyzeLTS(p *core.PrivacyLTS, opts Options) (*Annotation, error) {
 			visibleColumns = append(visibleColumns, columnOf(field))
 		}
 		sort.Strings(readAnon)
-		result, err := evaluator.Evaluate(visibleColumns)
+		result, err := evaluator.EvaluateContext(ctx, visibleColumns)
 		if err != nil {
 			return nil, err
 		}

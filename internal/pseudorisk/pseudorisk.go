@@ -19,6 +19,7 @@
 package pseudorisk
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -28,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"privascope/internal/anonymize"
+	"privascope/internal/flight"
 )
 
 // Policy is the violation policy the analysis checks value risks against.
@@ -97,22 +99,17 @@ func (s ScenarioResult) Key() string { return strings.Join(s.VisibleFields, "+")
 // re-evaluating the same field set — as the LTS annotation does for every
 // at-risk state with the same fieldsread — is a map lookup. An Evaluator is
 // safe for concurrent use; cached results (including their Risks slices) are
-// shared between callers and must be treated as read-only.
+// shared between callers and must be treated as read-only. The scenario
+// cache is single-flighted with context support: concurrent evaluations of
+// the same field set share one computation, and a computation aborted by
+// cancellation is forgotten rather than cached.
 type Evaluator struct {
 	table   *anonymize.Table
 	policy  Policy
 	workers int
 	index   *anonymize.ClassIndex
 
-	mu      sync.Mutex
-	results map[string]*scenarioEntry
-}
-
-// scenarioEntry is the once-computed result of one visible-field set.
-type scenarioEntry struct {
-	once   sync.Once
-	result ScenarioResult
-	err    error
+	results flight.Group[string, ScenarioResult]
 }
 
 // EvaluatorOptions tunes an Evaluator beyond the defaults.
@@ -160,7 +157,6 @@ func NewEvaluatorWithOptions(table *anonymize.Table, policy Policy, opts Evaluat
 		policy:  policy,
 		workers: workers,
 		index:   index,
-		results: make(map[string]*scenarioEntry),
 	}, nil
 }
 
@@ -180,6 +176,14 @@ func (e *Evaluator) Index() *anonymize.ClassIndex { return e.index }
 // quasi-identifier. Each distinct visible-field set is evaluated at most
 // once per evaluator.
 func (e *Evaluator) Evaluate(visibleFields []string) (ScenarioResult, error) {
+	return e.EvaluateContext(context.Background(), visibleFields)
+}
+
+// EvaluateContext is Evaluate with cancellation: the underlying class build
+// and record scoring poll ctx at chunk boundaries, a caller waiting on a
+// concurrent evaluation of the same field set returns its own ctx.Err() when
+// ctx is done, and a cancelled evaluation is not cached.
+func (e *Evaluator) EvaluateContext(ctx context.Context, visibleFields []string) (ScenarioResult, error) {
 	var visible []string
 	for _, f := range visibleFields {
 		if f == e.policy.TargetField {
@@ -192,22 +196,14 @@ func (e *Evaluator) Evaluate(visibleFields []string) (ScenarioResult, error) {
 	sort.Strings(visible)
 
 	key := strings.Join(visible, "\x00")
-	e.mu.Lock()
-	entry, ok := e.results[key]
-	if !ok {
-		entry = &scenarioEntry{}
-		e.results[key] = entry
-	}
-	e.mu.Unlock()
-	entry.once.Do(func() {
-		entry.result, entry.err = e.evaluate(visible)
+	return e.results.Do(ctx, key, func(ctx context.Context) (ScenarioResult, error) {
+		return e.evaluate(ctx, visible)
 	})
-	return entry.result, entry.err
 }
 
 // evaluate scores one canonicalised visible-field set.
-func (e *Evaluator) evaluate(visible []string) (ScenarioResult, error) {
-	risks, err := anonymize.ValueRisks(e.table, anonymize.ValueRiskOptions{
+func (e *Evaluator) evaluate(ctx context.Context, visible []string) (ScenarioResult, error) {
+	risks, err := anonymize.ValueRisksContext(ctx, e.table, anonymize.ValueRiskOptions{
 		VisibleColumns: visible,
 		TargetColumn:   e.policy.TargetField,
 		Closeness:      e.policy.Closeness,
@@ -236,6 +232,14 @@ func (e *Evaluator) evaluate(visible []string) (ScenarioResult, error) {
 // identical for any worker count, and the first failing scenario (by input
 // position) determines the returned error.
 func (e *Evaluator) EvaluateProgression(fieldSets [][]string) ([]ScenarioResult, error) {
+	return e.EvaluateProgressionContext(context.Background(), fieldSets)
+}
+
+// EvaluateProgressionContext is EvaluateProgression with cancellation: the
+// scenario fan-out workers poll ctx between scenarios (and each scenario's
+// class build and scoring poll it at chunk boundaries), the pool is joined
+// before returning, and a cancelled context yields ctx.Err().
+func (e *Evaluator) EvaluateProgressionContext(ctx context.Context, fieldSets [][]string) ([]ScenarioResult, error) {
 	out := make([]ScenarioResult, len(fieldSets))
 	errs := make([]error, len(fieldSets))
 	workers := e.workers
@@ -244,7 +248,7 @@ func (e *Evaluator) EvaluateProgression(fieldSets [][]string) ([]ScenarioResult,
 	}
 	if workers <= 1 {
 		for i, fields := range fieldSets {
-			r, err := e.Evaluate(fields)
+			r, err := e.EvaluateContext(ctx, fields)
 			if err != nil {
 				return nil, err
 			}
@@ -260,14 +264,17 @@ func (e *Evaluator) EvaluateProgression(fieldSets [][]string) ([]ScenarioResult,
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(fieldSets) {
+				if i >= len(fieldSets) || ctx.Err() != nil {
 					return
 				}
-				out[i], errs[i] = e.Evaluate(fieldSets[i])
+				out[i], errs[i] = e.EvaluateContext(ctx, fieldSets[i])
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package risk
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -139,6 +140,13 @@ func MustAnalyzer(cfg Config) *Analyzer {
 
 // Analyze assesses the user profile against the privacy LTS.
 func (a *Analyzer) Analyze(p *core.PrivacyLTS, profile UserProfile) (*Assessment, error) {
+	return a.AnalyzeContext(context.Background(), p, profile)
+}
+
+// AnalyzeContext is Analyze with cancellation: ctx is polled while walking
+// the model's transitions, so analyses of very large models abort promptly
+// with ctx.Err() when the caller cancels or the deadline passes.
+func (a *Analyzer) AnalyzeContext(ctx context.Context, p *core.PrivacyLTS, profile UserProfile) (*Assessment, error) {
 	if p == nil {
 		return nil, errors.New("risk: privacy LTS must not be nil")
 	}
@@ -178,7 +186,14 @@ func (a *Analyzer) Analyze(p *core.PrivacyLTS, profile UserProfile) (*Assessment
 		return profile.Sensitivity(field)
 	}
 
-	for _, tr := range p.Graph.Transitions() {
+	for i, tr := range p.Graph.Transitions() {
+		// Poll between transitions, spaced out so the atomic load never
+		// shows up on profiles of small models.
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		label := core.LabelOf(tr)
 		if label == nil {
 			continue

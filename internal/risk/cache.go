@@ -1,13 +1,13 @@
 package risk
 
 import (
+	"context"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"privascope/internal/core"
+	"privascope/internal/flight"
 )
 
 // Fingerprint returns a canonical encoding of the profile's risk-relevant
@@ -59,31 +59,21 @@ type cacheKey struct {
 	fingerprint string
 }
 
-// cacheEntry is computed exactly once; concurrent requests for the same key
-// block on the first computation instead of duplicating it.
-type cacheEntry struct {
-	once       sync.Once
-	assessment *Assessment
-	err        error
-}
-
 // AssessmentCache deduplicates risk assessments across users with identical
 // profile shapes (Fingerprint). The first analysis of each (model, shape)
 // pair runs the full Analyzer; every subsequent request returns the shared
 // result in O(1), with only the Profile swapped for the caller's. It is safe
-// for concurrent use.
+// for concurrent use: concurrent first requests for a shape are
+// single-flighted (one analysis, everyone shares the result), waiters honour
+// their own context, and an analysis aborted by cancellation is forgotten
+// rather than cached.
 //
 // Findings of a cached assessment are shared between callers and must be
 // treated as immutable, which matches the Analyzer contract (analyses never
 // mutate their outputs after returning them).
 type AssessmentCache struct {
 	analyzer *Analyzer
-
-	mu      sync.Mutex
-	entries map[cacheKey]*cacheEntry
-
-	hits   atomic.Int64
-	misses atomic.Int64
+	entries  flight.Group[cacheKey, *Assessment]
 }
 
 // NewAssessmentCache wraps the analyzer with a fingerprint-keyed cache.
@@ -96,7 +86,7 @@ func NewAssessmentCache(analyzer *Analyzer) (*AssessmentCache, error) {
 			return nil, err
 		}
 	}
-	return &AssessmentCache{analyzer: analyzer, entries: make(map[cacheKey]*cacheEntry)}, nil
+	return &AssessmentCache{analyzer: analyzer}, nil
 }
 
 // Analyzer returns the underlying analyzer.
@@ -107,39 +97,39 @@ func (c *AssessmentCache) Analyzer() *Analyzer { return c.analyzer }
 // profile; its Findings slice is shared with every other user of the same
 // shape.
 func (c *AssessmentCache) Analyze(p *core.PrivacyLTS, profile UserProfile) (*Assessment, error) {
-	key := cacheKey{model: p, fingerprint: profile.Fingerprint()}
-	c.mu.Lock()
-	entry, ok := c.entries[key]
-	if !ok {
-		entry = &cacheEntry{}
-		c.entries[key] = entry
-	}
-	c.mu.Unlock()
-	if ok {
-		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
-	}
-	entry.once.Do(func() {
-		entry.assessment, entry.err = c.analyzer.Analyze(p, profile)
+	return c.AnalyzeContext(context.Background(), p, profile)
+}
+
+// AnalyzeContext is Analyze with cancellation: the analysis polls ctx while
+// walking the model's transitions, a caller blocked on another caller's
+// in-flight analysis of the same shape returns its own ctx.Err() when ctx is
+// done, and a cancelled analysis is not cached.
+func (c *AssessmentCache) AnalyzeContext(ctx context.Context, p *core.PrivacyLTS, profile UserProfile) (*Assessment, error) {
+	return c.AnalyzeFingerprinted(ctx, p, profile, profile.Fingerprint())
+}
+
+// AnalyzeFingerprinted is AnalyzeContext for callers that already hold the
+// profile's Fingerprint, sparing its recomputation on per-user hot loops
+// (population scans fingerprint each profile for their DistinctShapes
+// accounting anyway). fingerprint must equal profile.Fingerprint().
+func (c *AssessmentCache) AnalyzeFingerprinted(ctx context.Context, p *core.PrivacyLTS, profile UserProfile, fingerprint string) (*Assessment, error) {
+	key := cacheKey{model: p, fingerprint: fingerprint}
+	shared, err := c.entries.Do(ctx, key, func(ctx context.Context) (*Assessment, error) {
+		return c.analyzer.AnalyzeContext(ctx, p, profile)
 	})
-	if entry.err != nil {
-		return nil, entry.err
+	if err != nil {
+		return nil, err
 	}
-	shared := *entry.assessment
-	shared.Profile = profile
-	return &shared, nil
+	assessment := *shared
+	assessment.Profile = profile
+	return &assessment, nil
 }
 
 // Hits returns how many Analyze calls were served from the cache.
-func (c *AssessmentCache) Hits() int64 { return c.hits.Load() }
+func (c *AssessmentCache) Hits() int64 { return c.entries.Hits() }
 
 // Misses returns how many Analyze calls computed a fresh assessment.
-func (c *AssessmentCache) Misses() int64 { return c.misses.Load() }
+func (c *AssessmentCache) Misses() int64 { return c.entries.Misses() }
 
 // Size returns the number of distinct (model, shape) pairs cached.
-func (c *AssessmentCache) Size() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
+func (c *AssessmentCache) Size() int { return c.entries.Size() }

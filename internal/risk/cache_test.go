@@ -135,7 +135,7 @@ func TestAssessmentCacheSharedResultMatchesDirectAnalysis(t *testing.T) {
 	}
 }
 
-func TestAssessmentCacheCachesErrors(t *testing.T) {
+func TestAssessmentCacheErrorsNotCached(t *testing.T) {
 	p := surgeryLTS(t)
 	cache, err := risk.NewAssessmentCache(nil)
 	if err != nil {
@@ -145,12 +145,17 @@ func TestAssessmentCacheCachesErrors(t *testing.T) {
 	if _, err := cache.Analyze(p, bad); err == nil {
 		t.Fatal("unknown consented service accepted")
 	}
+	// Failed analyses are forgotten (so one caller's cancellation can never
+	// poison the cache): a same-shaped retry recomputes and fails again.
 	bad.ID = "v"
 	if _, err := cache.Analyze(p, bad); err == nil {
-		t.Fatal("cached error not returned for same-shaped profile")
+		t.Fatal("error not returned for same-shaped profile")
 	}
-	if hits, misses := cache.Hits(), cache.Misses(); hits != 1 || misses != 1 {
-		t.Errorf("error path: hits=%d misses=%d, want 1/1", hits, misses)
+	if cache.Size() != 0 {
+		t.Errorf("failed analysis left %d cache entries, want 0", cache.Size())
+	}
+	if hits, misses := cache.Hits(), cache.Misses(); hits != 0 || misses != 2 {
+		t.Errorf("error path: hits=%d misses=%d, want 0/2", hits, misses)
 	}
 }
 

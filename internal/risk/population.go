@@ -1,6 +1,7 @@
 package risk
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -77,25 +78,49 @@ func (p *PopulationAssessment) WorstActorsRanked() []string {
 // full analysis runs once per (model, shape) pair and every same-shaped user
 // reuses it. The aggregation itself is O(users).
 func (a *Analyzer) AnalyzePopulation(p *core.PrivacyLTS, profiles []UserProfile) (*PopulationAssessment, error) {
+	return a.AnalyzePopulationContext(context.Background(), p, profiles)
+}
+
+// AnalyzePopulationContext is AnalyzePopulation with cancellation: ctx is
+// polled between profiles (and inside each underlying analysis), so a
+// cancelled context aborts the population scan promptly with ctx.Err().
+func (a *Analyzer) AnalyzePopulationContext(ctx context.Context, p *core.PrivacyLTS, profiles []UserProfile) (*PopulationAssessment, error) {
+	cache, err := NewAssessmentCache(a)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzePopulationCached(ctx, cache, p, profiles)
+}
+
+// AnalyzePopulationCached is AnalyzePopulationContext over a caller-supplied
+// assessment cache, so long-lived sessions (privascope.Engine) can share one
+// cache across many population scans and individual assessments of the same
+// model. DistinctShapes still counts the shapes of this population only, not
+// the cache's total size.
+func AnalyzePopulationCached(ctx context.Context, cache *AssessmentCache, p *core.PrivacyLTS, profiles []UserProfile) (*PopulationAssessment, error) {
 	if p == nil {
 		return nil, errors.New("risk: privacy LTS must not be nil")
 	}
 	if len(profiles) == 0 {
 		return nil, errors.New("risk: population is empty")
 	}
-	cache, err := NewAssessmentCache(a)
-	if err != nil {
-		return nil, err
-	}
 	out := &PopulationAssessment{
 		Distribution: make(map[Level]int),
 		WorstActors:  make(map[string]int),
 	}
+	shapes := make(map[string]bool)
 	for i, profile := range profiles {
-		assessment, err := cache.Analyze(p, profile)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// One fingerprint computation per profile, shared by the cache key
+		// and the distinct-shape accounting.
+		fingerprint := profile.Fingerprint()
+		assessment, err := cache.AnalyzeFingerprinted(ctx, p, profile, fingerprint)
 		if err != nil {
 			return nil, fmt.Errorf("risk: analysing profile %d (%s): %w", i, profile.ID, err)
 		}
+		shapes[fingerprint] = true
 		entry := UserRisk{
 			UserID:      profile.ID,
 			OverallRisk: assessment.OverallRisk,
@@ -113,6 +138,6 @@ func (a *Analyzer) AnalyzePopulation(p *core.PrivacyLTS, profiles []UserProfile)
 			out.UsersAtRisk++
 		}
 	}
-	out.DistinctShapes = cache.Size()
+	out.DistinctShapes = len(shapes)
 	return out, nil
 }

@@ -23,6 +23,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	goruntime "runtime"
@@ -225,7 +226,15 @@ func (m *Monitor) shardFor(userID string) *monitorShard {
 // and its findings index are computed once per profile shape (Fingerprint)
 // and shared, so registration is O(1) after the first user of each shape.
 func (m *Monitor) RegisterUser(profile risk.UserProfile) error {
-	index, err := m.shapeIndex(profile)
+	return m.RegisterUserContext(context.Background(), profile)
+}
+
+// RegisterUserContext is RegisterUser with cancellation: the first
+// registration of a profile shape runs a full risk analysis, which polls ctx
+// and aborts with ctx.Err() when the caller cancels; nothing is cached for
+// the shape in that case.
+func (m *Monitor) RegisterUserContext(ctx context.Context, profile risk.UserProfile) error {
+	index, err := m.shapeIndex(ctx, profile)
 	if err != nil {
 		return err
 	}
@@ -243,7 +252,7 @@ func (m *Monitor) RegisterUser(profile risk.UserProfile) error {
 // each derive the (cheap) lookup table, but the expensive analysis beneath
 // is single-flighted by the assessment cache; the first inserted index wins
 // so all users of a shape share one table.
-func (m *Monitor) shapeIndex(profile risk.UserProfile) (findingsIndex, error) {
+func (m *Monitor) shapeIndex(ctx context.Context, profile risk.UserProfile) (findingsIndex, error) {
 	fp := profile.Fingerprint()
 	m.shapeMu.Lock()
 	index, ok := m.shapes[fp]
@@ -253,7 +262,7 @@ func (m *Monitor) shapeIndex(profile risk.UserProfile) (findingsIndex, error) {
 		return index, nil
 	}
 	m.shapeMisses.Add(1)
-	assessment, err := m.cache.Analyze(m.lts, profile)
+	assessment, err := m.cache.AnalyzeFingerprinted(ctx, m.lts, profile, fp)
 	if err != nil {
 		return nil, err
 	}
@@ -417,6 +426,17 @@ const observeBatchThreshold = 32
 // Events for unregistered users yield a zero Observation and contribute to
 // the joined error; the remaining events are still processed.
 func (m *Monitor) ObserveBatch(events []service.Event) ([]Observation, error) {
+	return m.ObserveBatchContext(context.Background(), events)
+}
+
+// ObserveBatchContext is ObserveBatch with cancellation: every per-shard
+// worker polls ctx between events and stops applying the remainder of its
+// bucket when ctx is done, the fan-out is joined before returning (no
+// goroutines leak), and the returned error wraps ctx.Err(). Events skipped
+// by cancellation yield a zero Observation and are NOT applied — per-user
+// cursor sequences stay prefix-consistent because each user's events live in
+// one bucket and are processed in input order until the cutoff.
+func (m *Monitor) ObserveBatchContext(ctx context.Context, events []service.Event) ([]Observation, error) {
 	out := make([]Observation, len(events))
 	errs := make([]error, len(events))
 	observe := func(i int) {
@@ -428,6 +448,9 @@ func (m *Monitor) ObserveBatch(events []service.Event) ([]Observation, error) {
 	}
 	if len(m.shards) == 1 || len(events) < observeBatchThreshold {
 		for i := range events {
+			if err := ctx.Err(); err != nil {
+				return out, errors.Join(append(errs[:i:i], err)...)
+			}
 			observe(i)
 		}
 		return out, errors.Join(errs...)
@@ -448,11 +471,17 @@ func (m *Monitor) ObserveBatch(events []service.Event) ([]Observation, error) {
 		go func(idxs []int) {
 			defer wg.Done()
 			for _, i := range idxs {
+				if ctx.Err() != nil {
+					return
+				}
 				observe(i)
 			}
 		}(bucket)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return out, errors.Join(append(errs, err)...)
+	}
 	return out, errors.Join(errs...)
 }
 

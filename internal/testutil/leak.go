@@ -1,0 +1,67 @@
+// Package testutil holds shared test helpers. It is imported only from
+// _test.go files; keep it free of dependencies on the packages it helps
+// test.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutineLeak snapshots the goroutine count and registers a cleanup
+// that fails the test if, after a grace period, more goroutines are running
+// than at the snapshot. Call it first thing in any test that exercises a
+// cancellation path:
+//
+//	func TestCancelled(t *testing.T) {
+//		testutil.CheckGoroutineLeak(t)
+//		... cancel a context mid-operation ...
+//	}
+//
+// The contract under test: every worker pool in this module is joined before
+// its entry point returns, so cancellation must never strand a goroutine.
+// The check polls (goroutines park asynchronously after wg.Wait returns in
+// their spawner) and only fails after the count stays elevated for the full
+// grace period, with the offending stacks in the failure message.
+func CheckGoroutineLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		const (
+			grace = 2 * time.Second
+			step  = 10 * time.Millisecond
+		)
+		deadline := time.Now().Add(grace)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(step)
+		}
+		if after > before {
+			t.Errorf("goroutine leak: %d before, %d after cleanup grace period\n%s",
+				before, after, goroutineStacks())
+		}
+	})
+}
+
+// goroutineStacks renders all goroutine stacks, trimmed to a sane size for
+// test logs.
+func goroutineStacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	s := string(buf[:n])
+	const maxLen = 16 * 1024
+	if len(s) > maxLen {
+		if cut := strings.LastIndex(s[:maxLen], "\n\ngoroutine "); cut > 0 {
+			s = s[:cut] + "\n\n[... more goroutines elided ...]"
+		} else {
+			s = s[:maxLen]
+		}
+	}
+	return s
+}

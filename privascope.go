@@ -32,6 +32,16 @@
 // module for fine-grained control; see the package documentation of
 // internal/core, internal/risk, internal/pseudorisk and internal/runtime.
 //
+// The API is context-first: every potentially long-running entry point has a
+// ...Context form (GenerateContext, AssessContext,
+// AnalyzeDisclosurePopulationContext, Evaluator.EvaluateProgressionContext,
+// Monitor.ObserveBatchContext, ...) whose worker pools observe cancellation
+// at chunk boundaries, return ctx.Err() promptly and never leak goroutines;
+// the context-free names remain as thin context.Background() wrappers. For
+// the paper's generate-once/analyse-many workflow, hold a long-lived Engine:
+// it caches generated privacy models by content fingerprint and shares risk
+// analyses across same-shaped profiles, safely across goroutines.
+//
 // # Quick start
 //
 //	model := privascope.NewModelBuilder("clinic", privascope.Actor{ID: "patient", Name: "Patient"}).
@@ -39,7 +49,9 @@
 //		// ... datastores, services, flows ...
 //		Build()
 //
-//	result, err := privascope.Assess(model, profile, privascope.AssessOptions{})
+//	engine, err := privascope.NewEngine(privascope.EngineOptions{})
+//	// per user/request; the privacy LTS is generated once and cached:
+//	result, err := engine.Assess(ctx, model, profile)
 //	fmt.Println(result.Report.Render())
 //
 // See the examples directory for complete, runnable programs, including the
@@ -47,6 +59,7 @@
 package privascope
 
 import (
+	"context"
 	"fmt"
 
 	"privascope/internal/accesscontrol"
@@ -183,6 +196,20 @@ func GenerateWithOptions(m *Model, opts GenerateOptions) (*PrivacyModel, error) 
 	return core.GenerateWithOptions(m, opts)
 }
 
+// GenerateContext builds the privacy LTS with default options, honouring
+// cancellation and deadlines carried by ctx: the parallel BFS polls ctx at
+// state granularity and aborts mid-exploration with ctx.Err(), leaking no
+// goroutines.
+func GenerateContext(ctx context.Context, m *Model) (*PrivacyModel, error) {
+	return core.GenerateContext(ctx, m)
+}
+
+// GenerateWithOptionsContext is GenerateWithOptions with cancellation; see
+// GenerateContext.
+func GenerateWithOptionsContext(ctx context.Context, m *Model, opts GenerateOptions) (*PrivacyModel, error) {
+	return core.GenerateWithOptionsContext(ctx, m, opts)
+}
+
 // ---------------------------------------------------------------------------
 // Unwanted-disclosure risk analysis (Section III-A).
 // ---------------------------------------------------------------------------
@@ -221,11 +248,18 @@ const (
 // AnalyzeDisclosure assesses a user profile against a generated privacy
 // model using the given configuration (zero value for defaults).
 func AnalyzeDisclosure(p *PrivacyModel, profile UserProfile, cfg RiskConfig) (*RiskAssessment, error) {
+	return AnalyzeDisclosureContext(context.Background(), p, profile, cfg)
+}
+
+// AnalyzeDisclosureContext is AnalyzeDisclosure with cancellation: the
+// analysis polls ctx while walking the model's transitions and aborts with
+// ctx.Err() when the caller cancels or the deadline passes.
+func AnalyzeDisclosureContext(ctx context.Context, p *PrivacyModel, profile UserProfile, cfg RiskConfig) (*RiskAssessment, error) {
 	analyzer, err := risk.NewAnalyzer(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return analyzer.Analyze(p, profile)
+	return analyzer.AnalyzeContext(ctx, p, profile)
 }
 
 // CompareAssessments reports how per-event risk levels changed between two
@@ -241,11 +275,18 @@ type PopulationAssessment = risk.PopulationAssessment
 // AnalyzeDisclosurePopulation assesses every profile against the privacy
 // model and aggregates the results ("there is an instance for each user").
 func AnalyzeDisclosurePopulation(p *PrivacyModel, profiles []UserProfile, cfg RiskConfig) (*PopulationAssessment, error) {
+	return AnalyzeDisclosurePopulationContext(context.Background(), p, profiles, cfg)
+}
+
+// AnalyzeDisclosurePopulationContext is AnalyzeDisclosurePopulation with
+// cancellation: ctx is polled between profiles and inside each underlying
+// analysis, so a million-user scan aborts promptly with ctx.Err().
+func AnalyzeDisclosurePopulationContext(ctx context.Context, p *PrivacyModel, profiles []UserProfile, cfg RiskConfig) (*PopulationAssessment, error) {
 	analyzer, err := risk.NewAnalyzer(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return analyzer.AnalyzePopulation(p, profiles)
+	return analyzer.AnalyzePopulationContext(ctx, p, profiles)
 }
 
 // ---------------------------------------------------------------------------
@@ -300,6 +341,15 @@ func NewDataClassIndex(t *DataTable, workers int) *DataClassIndex {
 // model for one actor (the paper's Fig. 4).
 func AnalyzePseudonymisation(p *PrivacyModel, opts PseudonymisationOptions) (*PseudonymisationAnnotation, error) {
 	return pseudorisk.AnalyzeLTS(p, opts)
+}
+
+// AnalyzePseudonymisationContext is AnalyzePseudonymisation with
+// cancellation: ctx is polled between at-risk states and threaded into the
+// dataset evaluations (class building and record scoring poll it at chunk
+// boundaries), so a cancelled context aborts the annotation promptly with
+// ctx.Err().
+func AnalyzePseudonymisationContext(ctx context.Context, p *PrivacyModel, opts PseudonymisationOptions) (*PseudonymisationAnnotation, error) {
+	return pseudorisk.AnalyzeLTSContext(ctx, p, opts)
 }
 
 // KAnonymize produces a k-anonymous version of a table by generalisation and
@@ -443,8 +493,20 @@ type AssessResult struct {
 // Assess runs the full design-time pipeline for one user profile: validate
 // the model, generate the privacy LTS, analyse unwanted-disclosure risk, and
 // build a report.
+//
+// Assess regenerates the LTS on every call. For the paper's generate-once/
+// analyse-many workflow — or any server handling more than one request —
+// hold an Engine and call Engine.Assess instead: it caches generated models
+// by content fingerprint and deduplicates same-shaped profile analyses.
 func Assess(m *Model, profile UserProfile, opts AssessOptions) (*AssessResult, error) {
-	p, err := core.GenerateWithOptions(m, opts.Generate)
+	return AssessContext(context.Background(), m, profile, opts)
+}
+
+// AssessContext is Assess with cancellation: generation and analysis both
+// poll ctx and abort promptly with ctx.Err() when the caller cancels or the
+// deadline passes, leaking no goroutines.
+func AssessContext(ctx context.Context, m *Model, profile UserProfile, opts AssessOptions) (*AssessResult, error) {
+	p, err := core.GenerateWithOptionsContext(ctx, m, opts.Generate)
 	if err != nil {
 		return nil, fmt.Errorf("privascope: generating privacy model: %w", err)
 	}
@@ -452,18 +514,26 @@ func Assess(m *Model, profile UserProfile, opts AssessOptions) (*AssessResult, e
 	if err != nil {
 		return nil, err
 	}
-	assessment, err := analyzer.Analyze(p, profile)
+	assessment, err := analyzer.AnalyzeContext(ctx, p, profile)
 	if err != nil {
 		return nil, fmt.Errorf("privascope: analysing disclosure risk: %w", err)
 	}
-	combined := report.NewReport("Privacy risk assessment: " + m.Name)
+	return &AssessResult{PrivacyModel: p, Assessment: assessment,
+		Report: buildAssessReport(m.Name, p, assessment)}, nil
+}
+
+// buildAssessReport composes the combined model-summary + disclosure report
+// of an assessment; shared by the Assess pipeline and Engine.Assess so the
+// two paths cannot diverge.
+func buildAssessReport(modelName string, p *PrivacyModel, assessment *RiskAssessment) *Report {
+	combined := report.NewReport("Privacy risk assessment: " + modelName)
 	for _, section := range report.ModelSummary(p).Sections() {
 		combined.AddTable(section.Title, section.Body, section.Table)
 	}
 	for _, section := range report.DisclosureAssessment(assessment).Sections() {
 		combined.AddTable(section.Title, section.Body, section.Table)
 	}
-	return &AssessResult{PrivacyModel: p, Assessment: assessment, Report: combined}, nil
+	return combined
 }
 
 // RenderAssessment renders a disclosure-risk assessment as a plain-text
