@@ -1,0 +1,43 @@
+# Development entry points. The bench target records the repository's
+# performance trajectory: every run emits BENCH_$(N).json (benchmark ->
+# iterations + ns/op, B/op, allocs/op and custom metrics) via cmd/benchjson,
+# so successive PRs leave comparable perf snapshots behind.
+
+GO ?= go
+# N tags the benchmark snapshot; defaults to the commit count so successive
+# snapshots sort naturally.
+N ?= $(shell git rev-list --count HEAD 2>/dev/null || echo 0)
+BENCH ?= .
+BENCHTIME ?= 2s
+# The benchmarks CI smokes on every push: the headline number of each
+# subsystem plus the compiled-vs-reference pairs this PR introduced.
+SMOKE_BENCH = LTSGeneration|MonitorThroughput|ValueRiskPipeline|EngineAssessCached|AnalyzeCompiled|AnalyzeReference|MinimizeCompiled|MinimizeReference
+
+.PHONY: build test vet bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the selected benchmarks (-benchmem) across every package and
+# writes BENCH_$(N).json. Override BENCH / BENCHTIME / N as needed, e.g.:
+#   make bench BENCH='Analyze' BENCHTIME=5s N=pr5
+# The go-test run and the JSON conversion are separate steps (not a pipe) so
+# a failing or non-compiling benchmark fails the target instead of being
+# masked by benchjson's exit status.
+bench:
+	$(GO) test -run='^$$' -bench='$(BENCH)' -benchmem -benchtime=$(BENCHTIME) ./... > .bench_$(N).txt \
+		|| (rm -f .bench_$(N).txt; exit 1)
+	$(GO) run ./cmd/benchjson < .bench_$(N).txt > BENCH_$(N).json
+	@rm -f .bench_$(N).txt
+	@echo "wrote BENCH_$(N).json"
+
+# bench-smoke is the CI variant: one iteration of the headline benchmarks,
+# still recorded as BENCH_$(N).json so every CI run leaves a perf record.
+bench-smoke:
+	$(MAKE) bench BENCH='$(SMOKE_BENCH)' BENCHTIME=1x

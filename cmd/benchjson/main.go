@@ -1,0 +1,95 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document mapping each benchmark to its measurements, so the repository's
+// performance trajectory can be recorded per PR (see the `bench` make
+// target, which writes BENCH_<n>.json).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | benchjson > BENCH_42.json
+//
+// Benchmarks are keyed as "<package>.<name>" (the name stripped of its
+// -GOMAXPROCS suffix) and carry every metric pair the benchmark emitted:
+// ns/op, B/op, allocs/op and any custom metrics such as states/sec.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// entry is the measurements of one benchmark.
+type entry struct {
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := emit(os.Stdout, results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans go-test output, tracking `pkg:` context lines and collecting
+// `Benchmark...` result lines.
+func parse(sc *bufio.Scanner) (map[string]entry, error) {
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	results := make(map[string]entry)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "<name>-N  <iterations>  <value> <unit> ...".
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iterations, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := entry{Iterations: iterations, Metrics: make(map[string]float64)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			value, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: bad value %q", line, fields[i])
+			}
+			e.Metrics[fields[i+1]] = value
+		}
+		key := name
+		if pkg != "" {
+			key = pkg + "." + name
+		}
+		results[key] = e
+	}
+	return results, sc.Err()
+}
+
+// emit writes the results as indented JSON (encoding/json renders map keys
+// in sorted order, so the document is stable across runs).
+func emit(w *os.File, results map[string]entry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: privascope/internal/lts
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMinimizeCompiled-8   	     685	   3873763 ns/op	  704169 B/op	    2430 allocs/op
+BenchmarkReachable-8   	   10000	    101202 ns/op	   12345 B/op	      67 allocs/op
+PASS
+ok  	privascope/internal/lts	8.871s
+pkg: privascope
+BenchmarkLTSGenerationParallel/workers=4-8         	     100	    500000 ns/op	        1234567 states/sec
+ok  	privascope	1.0s
+`
+	results, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(results), results)
+	}
+	min, ok := results["privascope/internal/lts.BenchmarkMinimizeCompiled"]
+	if !ok {
+		t.Fatalf("missing minimize entry: %v", results)
+	}
+	if min.Iterations != 685 || min.Metrics["ns/op"] != 3873763 || min.Metrics["allocs/op"] != 2430 {
+		t.Fatalf("bad minimize entry: %+v", min)
+	}
+	gen, ok := results["privascope.BenchmarkLTSGenerationParallel/workers=4"]
+	if !ok {
+		t.Fatalf("missing generation entry: %v", results)
+	}
+	if gen.Metrics["states/sec"] != 1234567 {
+		t.Fatalf("custom metric lost: %+v", gen)
+	}
+}

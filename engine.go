@@ -32,7 +32,10 @@ type EngineOptions struct {
 // canonical content hash, so two loads of the same model document share one
 // generation — and shares one RiskConfig-derived analyzer and assessment
 // cache across all calls, so same-shaped user profiles are analysed once per
-// model. Both caches are single-flighted: concurrent first requests for the
+// model. Each cached model carries its lazily-built compiled analysis view
+// (the flat CSR graph with pre-resolved labels and state-vector deltas), so a
+// model is compiled once per fingerprint and every Assess, Analyze,
+// AssessPopulation and Monitor call walks the same compiled core. Both caches are single-flighted: concurrent first requests for the
 // same model block on a single generation instead of duplicating it, a
 // waiter honours its own context, and a generation aborted by cancellation
 // is forgotten rather than cached.

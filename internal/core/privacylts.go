@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"privascope/internal/dataflow"
+	"privascope/internal/flight"
 	"privascope/internal/lts"
 	"privascope/internal/schema"
 )
@@ -28,6 +29,10 @@ type PrivacyLTS struct {
 
 	vectors map[lts.StateID]StateVector
 	stores  map[lts.StateID]map[string]schema.FieldSet
+
+	// compiled lazily holds the analysis view (see Compiled); single-flighted
+	// so concurrent analyses compile the model exactly once.
+	compiled flight.Group[struct{}, *CompiledView]
 }
 
 // Vector returns the privacy state vector of the given state.

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"math/bits"
+	"strings"
+
+	"privascope/internal/lts"
+)
+
+// CompiledView is the analysis-side compilation of a PrivacyLTS: the CSR
+// graph (lts.Compiled) plus everything the disclosure analyses would
+// otherwise re-derive per transition per profile, resolved once per model —
+// the TransitionLabel of every edge (no type assertions on the hot path) and
+// the profile-independent state-vector delta of every edge as dense
+// (actor index, field index, kind) triples, so an analysis never touches the
+// string-keyed vector maps or allocates Variable slices while walking the
+// model.
+//
+// A CompiledView is immutable and shared: PrivacyLTS.Compiled builds it at
+// most once per model (single-flighted), and the Engine's fingerprint-keyed
+// model cache means every Assess/Analyze/AssessPopulation/Monitor call on the
+// same model shares one view.
+type CompiledView struct {
+	// Graph is the CSR compilation of the privacy LTS.
+	Graph *lts.Compiled
+
+	labels    []*TransitionLabel // per edge; nil for foreign label types
+	fieldsCSV []string           // per edge; the label's fields joined with ", "
+	changes   [][]EdgeChange     // per edge; the variables the edge newly sets
+	actors    []string           // vocabulary order (sorted)
+	fields    []string
+}
+
+// EdgeChange is one state variable a transition newly sets, with the actor
+// and field resolved to vocabulary indices (ascending index order equals the
+// vocabulary's sorted name order).
+type EdgeChange struct {
+	Actor int32
+	Field int32
+	Kind  VarKind
+}
+
+// Label returns the TransitionLabel of the edge (nil when the transition
+// carries a foreign label type).
+func (v *CompiledView) Label(e int32) *TransitionLabel { return v.labels[e] }
+
+// FieldsJoined returns the edge label's field list joined with ", " (empty
+// for foreign labels), resolved once per model so per-finding report
+// rendering never re-joins it.
+func (v *CompiledView) FieldsJoined(e int32) string { return v.fieldsCSV[e] }
+
+// Changes returns the state variables the edge newly sets relative to its
+// source state, in vocabulary bit order. The slice is shared and must not be
+// modified.
+func (v *CompiledView) Changes(e int32) []EdgeChange { return v.changes[e] }
+
+// Actors returns the vocabulary's actors in sorted order. The slice is shared
+// and must not be modified.
+func (v *CompiledView) Actors() []string { return v.actors }
+
+// Fields returns the vocabulary's fields in sorted order. The slice is shared
+// and must not be modified.
+func (v *CompiledView) Fields() []string { return v.fields }
+
+// Compiled returns the compiled analysis view of the privacy LTS, building it
+// at most once for the model's lifetime: concurrent first callers are
+// single-flighted onto one compilation and every later caller shares the
+// result.
+//
+// The view is pinned forever: a PrivacyLTS is immutable once generated (the
+// same invariant the identity-keyed risk.AssessmentCache already relies on),
+// so mutating p.Graph after the first analysis is unsupported and would
+// leave this view — like any previously cached assessment — stale.
+func (p *PrivacyLTS) Compiled() *CompiledView {
+	v, _ := p.compiled.Do(context.Background(), struct{}{},
+		func(context.Context) (*CompiledView, error) {
+			return newCompiledView(p), nil
+		})
+	return v
+}
+
+// newCompiledView resolves the per-edge labels and vector deltas of the
+// model.
+func newCompiledView(p *PrivacyLTS) *CompiledView {
+	c := p.Graph.Compiled()
+	m := c.NumEdges()
+	v := &CompiledView{
+		Graph:     c,
+		labels:    make([]*TransitionLabel, m),
+		fieldsCSV: make([]string, m),
+		changes:   make([][]EdgeChange, m),
+		actors:    p.Vocab.actors,
+		fields:    p.Vocab.fields,
+	}
+	// Labels are shared across edges (one per declared flow), so joined field
+	// lists are memoised per label pointer.
+	joined := make(map[*TransitionLabel]string)
+	// Dense state -> vector, so the per-edge delta never hits the map.
+	vecs := make([]StateVector, c.NumStates())
+	for i := range vecs {
+		vecs[i] = p.vectors[c.StateAt(int32(i))]
+	}
+	numFields := len(v.fields)
+	for e := 0; e < m; e++ {
+		tr := c.TransitionAt(int32(e))
+		if label, ok := tr.Label.(*TransitionLabel); ok {
+			v.labels[e] = label
+			csv, ok := joined[label]
+			if !ok {
+				csv = strings.Join(label.Fields, ", ")
+				joined[label] = csv
+			}
+			v.fieldsCSV[e] = csv
+		}
+		// Matching ChangeOf: an edge whose source or target has no vector
+		// contributes no change (a zero StateVector marks a missing map
+		// entry).
+		to, from := vecs[c.To(int32(e))], vecs[c.From(int32(e))]
+		if to.vocab != nil && from.vocab != nil {
+			v.changes[e] = edgeChanges(to, from, numFields)
+		}
+	}
+	return v
+}
+
+// edgeChanges extracts the newly-true variables of to relative to from as
+// dense index triples, in vocabulary bit order (matching
+// StateVector.NewlyTrue). Both vectors must be present (non-zero).
+func edgeChanges(to, from StateVector, numFields int) []EdgeChange {
+	if numFields == 0 {
+		return nil
+	}
+	var out []EdgeChange
+	for w := range to.words {
+		diff := to.words[w]
+		if w < len(from.words) {
+			diff &^= from.words[w]
+		}
+		for diff != 0 {
+			bit := w*64 + bits.TrailingZeros64(diff)
+			diff &= diff - 1
+			if bit >= to.vocab.numVars {
+				break
+			}
+			kind := HasIdentified
+			if bit&1 == 1 {
+				kind = CouldIdentify
+			}
+			pair := bit >> 1
+			out = append(out, EdgeChange{
+				Actor: int32(pair / numFields),
+				Field: int32(pair % numFields),
+				Kind:  kind,
+			})
+		}
+	}
+	return out
+}

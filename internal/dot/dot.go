@@ -8,7 +8,6 @@
 package dot
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 )
@@ -116,21 +115,34 @@ func (c *Cluster) SetAttr(key, value string) { c.attrs[key] = value }
 // AddNode assigns an existing (or future) node identifier to the cluster.
 func (c *Cluster) AddNode(id string) { c.nodes = append(c.nodes, id) }
 
-// Render produces the DOT document as a string.
+// Render produces the DOT document as a string. The document is assembled
+// with direct writes into one pre-sized strings.Builder — no fmt formatting
+// and no intermediate attribute strings — because LTS renderings put every
+// transition label of a model through this path.
 func (g *Graph) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "digraph %s {\n", quoteID(g.name))
+	b.Grow(g.estimateSize())
+	b.WriteString("digraph ")
+	b.WriteString(quoteID(g.name))
+	b.WriteString(" {\n")
 	writeAttrLines(&b, "  ", g.graphAttr)
 	if len(g.nodeAttr) > 0 {
-		fmt.Fprintf(&b, "  node %s;\n", attrList(g.nodeAttr))
+		b.WriteString("  node ")
+		writeAttrList(&b, g.nodeAttr)
+		b.WriteString(";\n")
 	}
 	if len(g.edgeAttr) > 0 {
-		fmt.Fprintf(&b, "  edge %s;\n", attrList(g.edgeAttr))
+		b.WriteString("  edge ")
+		writeAttrList(&b, g.edgeAttr)
+		b.WriteString(";\n")
 	}
 	clustered := make(map[string]bool)
 	for _, c := range g.clusters {
-		fmt.Fprintf(&b, "  subgraph %s {\n", quoteID("cluster_"+c.name))
-		fmt.Fprintf(&b, "    label=%s;\n", quote(c.label))
+		b.WriteString("  subgraph ")
+		b.WriteString(quoteID("cluster_" + c.name))
+		b.WriteString(" {\n    label=")
+		b.WriteString(quote(c.label))
+		b.WriteString(";\n")
 		writeAttrLines(&b, "    ", c.attrs)
 		for _, id := range c.nodes {
 			clustered[id] = true
@@ -147,9 +159,13 @@ func (g *Graph) Render() string {
 		writeNode(&b, "  ", n)
 	}
 	for _, e := range g.edges {
-		fmt.Fprintf(&b, "  %s -> %s", quoteID(e.from), quoteID(e.to))
+		b.WriteString("  ")
+		b.WriteString(quoteID(e.from))
+		b.WriteString(" -> ")
+		b.WriteString(quoteID(e.to))
 		if len(e.attrs) > 0 {
-			fmt.Fprintf(&b, " %s", attrList(e.attrs))
+			b.WriteString(" ")
+			writeAttrList(&b, e.attrs)
 		}
 		b.WriteString(";\n")
 	}
@@ -157,26 +173,66 @@ func (g *Graph) Render() string {
 	return b.String()
 }
 
+// estimateSize guesses the rendered length so Render grows its builder once.
+// Attribute values dominate (LTS node and edge labels), so they are counted
+// exactly; structural syntax is padded per element.
+func (g *Graph) estimateSize() int {
+	const perAttr, perElem = 8, 16
+	size := perElem + len(g.name)
+	countAttrs := func(attrs map[string]string) {
+		for k, v := range attrs {
+			size += len(k) + len(v) + perAttr
+		}
+	}
+	countAttrs(g.graphAttr)
+	countAttrs(g.nodeAttr)
+	countAttrs(g.edgeAttr)
+	for _, c := range g.clusters {
+		size += perElem + len(c.name) + len(c.label)
+		countAttrs(c.attrs)
+	}
+	for _, n := range g.nodes {
+		size += perElem + len(n.id)
+		countAttrs(n.attrs)
+	}
+	for _, e := range g.edges {
+		size += perElem + len(e.from) + len(e.to)
+		countAttrs(e.attrs)
+	}
+	return size
+}
+
 func writeNode(b *strings.Builder, indent string, n *node) {
-	fmt.Fprintf(b, "%s%s", indent, quoteID(n.id))
+	b.WriteString(indent)
+	b.WriteString(quoteID(n.id))
 	if len(n.attrs) > 0 {
-		fmt.Fprintf(b, " %s", attrList(n.attrs))
+		b.WriteString(" ")
+		writeAttrList(b, n.attrs)
 	}
 	b.WriteString(";\n")
 }
 
 func writeAttrLines(b *strings.Builder, indent string, attrs map[string]string) {
 	for _, k := range sortedKeys(attrs) {
-		fmt.Fprintf(b, "%s%s=%s;\n", indent, k, quote(attrs[k]))
+		b.WriteString(indent)
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(quote(attrs[k]))
+		b.WriteString(";\n")
 	}
 }
 
-func attrList(attrs map[string]string) string {
-	parts := make([]string, 0, len(attrs))
-	for _, k := range sortedKeys(attrs) {
-		parts = append(parts, fmt.Sprintf("%s=%s", k, quote(attrs[k])))
+func writeAttrList(b *strings.Builder, attrs map[string]string) {
+	b.WriteString("[")
+	for i, k := range sortedKeys(attrs) {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(quote(attrs[k]))
 	}
-	return "[" + strings.Join(parts, ", ") + "]"
+	b.WriteString("]")
 }
 
 func sortedKeys(m map[string]string) []string {

@@ -2,6 +2,7 @@ package lts
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -38,13 +39,15 @@ func (tr Trace) End(start StateID) StateID {
 
 // FindStates returns the reachable states satisfying the predicate, sorted.
 func (l *LTS) FindStates(pred StatePredicate) ([]StateID, error) {
-	reach, err := l.Reachable()
-	if err != nil {
-		return nil, err
+	c := l.Compiled()
+	init, ok := c.InitialIndex()
+	if !ok {
+		return nil, ErrNoInitialState
 	}
+	bits, _ := c.ReachableBits(init)
 	var out []StateID
-	for id := range reach {
-		if pred(id) {
+	for i, id := range c.states {
+		if bits.Has(int32(i)) && pred(id) {
 			out = append(out, id)
 		}
 	}
@@ -55,14 +58,16 @@ func (l *LTS) FindStates(pred StatePredicate) ([]StateID, error) {
 // FindTransitions returns the transitions (between reachable states)
 // satisfying the predicate, in insertion order.
 func (l *LTS) FindTransitions(pred TransitionPredicate) ([]Transition, error) {
-	reach, err := l.Reachable()
-	if err != nil {
-		return nil, err
+	c := l.Compiled()
+	init, ok := c.InitialIndex()
+	if !ok {
+		return nil, ErrNoInitialState
 	}
+	bits, _ := c.ReachableBits(init)
 	var out []Transition
-	for _, t := range l.transitions {
-		if reach[t.From] && pred(t) {
-			out = append(out, t)
+	for e := range c.trs {
+		if bits.Has(c.edgeFrom[e]) && pred(c.trs[e]) {
+			out = append(out, c.trs[e])
 		}
 	}
 	return out, nil
@@ -93,43 +98,47 @@ func (l *LTS) Always(pred StatePredicate) (bool, Trace, error) {
 	return true, nil, nil
 }
 
-// shortestTrace runs a BFS from start and returns the shortest trace to a
-// state satisfying pred.
+// shortestTrace runs an integer BFS over the compiled view from start and
+// returns the shortest trace to a state satisfying pred. The discovery order
+// (FIFO queue, out-edges in insertion order) matches the original map-based
+// search exactly, so witness traces are byte-identical.
 func (l *LTS) shortestTrace(start StateID, pred StatePredicate) (Trace, bool) {
-	if !l.HasState(start) {
+	c := l.Compiled()
+	s, ok := c.ids[start]
+	if !ok {
 		return nil, false
 	}
 	if pred(start) {
 		return Trace{}, true
 	}
-	type parentLink struct {
-		prev StateID
-		via  int // transition index
+	// via[v] is the transition that discovered v; its source is the BFS
+	// parent, so one array carries both links of the parent chain.
+	via := make([]int32, len(c.states))
+	for i := range via {
+		via[i] = -1
 	}
-	parents := map[StateID]parentLink{}
-	visited := map[StateID]bool{start: true}
-	queue := []StateID{start}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, idx := range l.outgoing[cur] {
-			next := l.transitions[idx].To
-			if visited[next] {
+	visited := NewBitset(len(c.states))
+	visited.Set(s)
+	queue := make([]int32, 0, 64)
+	queue = append(queue, s)
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, e := range c.Out(cur) {
+			next := c.edgeTo[e]
+			if visited.Has(next) {
 				continue
 			}
-			visited[next] = true
-			parents[next] = parentLink{prev: cur, via: idx}
-			if pred(next) {
-				// Reconstruct the trace.
-				var rev []Transition
-				for at := next; at != start; {
-					link := parents[at]
-					rev = append(rev, l.transitions[link.via])
-					at = link.prev
+			visited.Set(next)
+			via[next] = e
+			if pred(c.states[next]) {
+				depth := 0
+				for at := next; at != s; at = c.edgeFrom[via[at]] {
+					depth++
 				}
-				trace := make(Trace, 0, len(rev))
-				for i := len(rev) - 1; i >= 0; i-- {
-					trace = append(trace, rev[i])
+				trace := make(Trace, depth)
+				for at := next; at != s; at = c.edgeFrom[via[at]] {
+					depth--
+					trace[depth] = c.trs[via[at]]
 				}
 				return trace, true
 			}
@@ -157,36 +166,46 @@ func (l *LTS) ShortestTraceTo(target StateID) (Trace, error) {
 // maxTraces paths so callers cannot accidentally explode; a negative
 // maxTraces means unbounded.
 func (l *LTS) TracesFrom(start StateID, maxDepth, maxTraces int) []Trace {
+	c := l.Compiled()
+	s, ok := c.ids[start]
+	if !ok {
+		return nil
+	}
 	var out []Trace
-	var cur Trace
-	visited := map[StateID]bool{start: true}
-	var walk func(from StateID, depth int)
-	walk = func(from StateID, depth int) {
+	// Simple paths are bounded by the state count, so cap the pre-allocation
+	// there: callers may pass an effectively-unbounded maxDepth.
+	cur := make([]int32, 0, min(max(maxDepth, 0), len(c.states))) // transition indices of the current path
+	visited := NewBitset(len(c.states))
+	visited.Set(s)
+	var walk func(from int32, depth int)
+	walk = func(from int32, depth int) {
 		if maxTraces >= 0 && len(out) >= maxTraces {
 			return
 		}
-		outgoing := l.Outgoing(from)
 		extended := false
 		if depth < maxDepth {
-			for _, t := range outgoing {
-				if visited[t.To] {
+			for _, e := range c.Out(from) {
+				to := c.edgeTo[e]
+				if visited.Has(to) {
 					continue
 				}
-				visited[t.To] = true
-				cur = append(cur, t)
-				walk(t.To, depth+1)
+				visited.Set(to)
+				cur = append(cur, e)
+				walk(to, depth+1)
 				cur = cur[:len(cur)-1]
-				visited[t.To] = false
+				visited.Clear(to)
 				extended = true
 			}
 		}
 		if !extended && len(cur) > 0 {
 			trace := make(Trace, len(cur))
-			copy(trace, cur)
+			for i, e := range cur {
+				trace[i] = c.trs[e]
+			}
 			out = append(out, trace)
 		}
 	}
-	walk(start, 0)
+	walk(s, 0)
 	return out
 }
 
@@ -196,82 +215,132 @@ func (l *LTS) TracesFrom(start StateID, maxDepth, maxTraces int) []Trace {
 // point. This is strong-bisimulation minimisation restricted to label
 // strings; it is used to present compact views of large generated models.
 // The mapping from original state IDs to representative IDs is also returned.
+//
+// The refinement runs on the compiled view: a state's signature is its own
+// block plus the sorted multiset of (label ID, successor block) integer
+// pairs, hashed and bucketed with full-signature comparison on collision, so
+// no label strings are rendered and no per-round signature strings are
+// built. Stability is detected by comparing the partitions themselves (block
+// numbering is canonical — first encounter in state order — so two rounds
+// assign identical arrays exactly when the partition stopped refining).
 func (l *LTS) Minimize() (*LTS, map[StateID]StateID) {
-	// Initial partition: all states in one block (split by terminal/non-terminal).
-	block := make(map[StateID]int, len(l.states))
-	for _, id := range l.order {
-		if len(l.outgoing[id]) == 0 {
-			block[id] = 1
+	c := l.Compiled()
+	n := c.NumStates()
+
+	// Initial partition: split by terminal/non-terminal, blocks numbered by
+	// first encounter in state order (the canonical numbering every round
+	// uses, so the stability comparison below is a plain array equality).
+	block := make([]int32, n)
+	numBlocks := 0
+	termBlock, stepBlock := int32(-1), int32(-1)
+	for i := 0; i < n; i++ {
+		if c.OutDegree(int32(i)) == 0 {
+			if termBlock < 0 {
+				termBlock = int32(numBlocks)
+				numBlocks++
+			}
+			block[i] = termBlock
 		} else {
-			block[id] = 0
+			if stepBlock < 0 {
+				stepBlock = int32(numBlocks)
+				numBlocks++
+			}
+			block[i] = stepBlock
 		}
 	}
-	blockCount := func(b map[StateID]int) int {
-		set := make(map[int]bool, len(b))
-		for _, v := range b {
-			set[v] = true
-		}
-		return len(set)
+
+	// blockRep remembers, per new block, the signature that founded it, for
+	// exact comparison when two signatures collide on the same hash.
+	type blockRep struct {
+		own int32
+		sig []uint64
 	}
+	newBlock := make([]int32, n)
+	sig := make([]uint64, 0, c.MaxOutDegree())
 	for {
-		// Signature: current block plus the sorted list of "label->block"
-		// pairs of the outgoing transitions. Because the current block is
-		// part of the signature, each round refines the previous partition,
-		// so the block count is non-decreasing and the loop terminates.
-		sigOf := func(id StateID) string {
-			parts := make([]string, 0, len(l.outgoing[id]))
-			for _, idx := range l.outgoing[id] {
-				t := l.transitions[idx]
-				label := ""
-				if t.Label != nil {
-					label = t.Label.LabelString()
+		table := make(map[uint64][]int32, numBlocks)
+		reps := make([]blockRep, 0, numBlocks)
+		for i := 0; i < n; i++ {
+			sig = sig[:0]
+			for _, e := range c.Out(int32(i)) {
+				sig = append(sig, uint64(uint32(c.edgeLabel[e]))<<32|uint64(uint32(block[c.edgeTo[e]])))
+			}
+			slices.Sort(sig)
+			own := block[i]
+			h := hashSignature(own, sig)
+			found := int32(-1)
+			for _, cand := range table[h] {
+				if r := &reps[cand]; r.own == own && slices.Equal(r.sig, sig) {
+					found = cand
+					break
 				}
-				parts = append(parts, fmt.Sprintf("%s\x00%d", label, block[t.To]))
 			}
-			sort.Strings(parts)
-			return fmt.Sprintf("%d|%s", block[id], strings.Join(parts, "\x01"))
-		}
-		sigBlocks := make(map[string]int)
-		newBlock := make(map[StateID]int, len(l.states))
-		for _, id := range l.order {
-			sig := sigOf(id)
-			b, ok := sigBlocks[sig]
-			if !ok {
-				b = len(sigBlocks)
-				sigBlocks[sig] = b
+			if found < 0 {
+				found = int32(len(reps))
+				reps = append(reps, blockRep{own: own, sig: append([]uint64(nil), sig...)})
+				table[h] = append(table[h], found)
 			}
-			newBlock[id] = b
+			newBlock[i] = found
 		}
-		stable := blockCount(newBlock) == blockCount(block)
-		block = newBlock
+		stable := len(reps) == numBlocks && slices.Equal(newBlock, block)
+		block, newBlock = newBlock, block
+		numBlocks = len(reps)
 		if stable {
 			break
 		}
 	}
 
 	// Representative of each block: the first state in insertion order.
-	repOf := make(map[int]StateID)
-	mapping := make(map[StateID]StateID, len(l.states))
-	for _, id := range l.order {
-		b := block[id]
-		if _, ok := repOf[b]; !ok {
-			repOf[b] = id
+	repOf := make([]StateID, numBlocks)
+	repSet := make([]bool, numBlocks)
+	mapping := make(map[StateID]StateID, n)
+	for i := 0; i < n; i++ {
+		b := block[i]
+		if !repSet[b] {
+			repSet[b] = true
+			repOf[b] = c.states[i]
 		}
-		mapping[id] = repOf[b]
+		mapping[c.states[i]] = repOf[b]
 	}
 
 	min := New()
-	for _, id := range l.order {
+	for i := 0; i < n; i++ {
+		id := c.states[i]
 		if mapping[id] == id {
-			s := l.states[id]
-			min.AddState(id, s.Props)
+			min.AddState(id, l.states[id].Props)
 		}
 	}
 	if l.hasInitial {
 		min.SetInitial(mapping[l.initial])
 	}
-	for _, t := range l.transitions {
-		min.AddTransition(mapping[t.From], mapping[t.To], t.Label)
+	// Quotient transitions, deduplicated by (source block, target block,
+	// label) with the first insertion-order occurrence winning — exactly what
+	// AddTransition's per-edge duplicate scan used to compute, without
+	// re-rendering any label.
+	type quotientEdge struct{ from, to, label int32 }
+	added := make(map[quotientEdge]bool, len(c.trs))
+	for e := range c.trs {
+		k := quotientEdge{block[c.edgeFrom[e]], block[c.edgeTo[e]], c.edgeLabel[e]}
+		if added[k] {
+			continue
+		}
+		added[k] = true
+		t := c.trs[e]
+		min.AddTransitionUnchecked(mapping[t.From], mapping[t.To], t.Label)
 	}
 	return min, mapping
+}
+
+// hashSignature mixes a minimisation signature into a 64-bit FNV-1a-style
+// hash. Collisions are resolved by full comparison, so only distribution
+// matters here, not cryptographic strength.
+func hashSignature(own int32, sig []uint64) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(uint32(own))) * prime
+	for _, v := range sig {
+		h = (h ^ (v & 0xffffffff)) * prime
+		h = (h ^ (v >> 32)) * prime
+	}
+	return h
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // StateID identifies a state within an LTS.
@@ -52,13 +53,21 @@ type Transition struct {
 	Label Label
 }
 
-// String renders the transition for traces and error messages.
+// String renders the transition for traces and error messages, e.g.
+// "s0 --[collect(name)]--> s1".
 func (t Transition) String() string {
 	label := ""
 	if t.Label != nil {
 		label = t.Label.LabelString()
 	}
-	return fmt.Sprintf("%s --[%s]--> %s", t.From, label, t.To)
+	var b strings.Builder
+	b.Grow(len(t.From) + len(label) + len(t.To) + len(" --[") + len("]--> "))
+	b.WriteString(string(t.From))
+	b.WriteString(" --[")
+	b.WriteString(label)
+	b.WriteString("]--> ")
+	b.WriteString(string(t.To))
+	return b.String()
 }
 
 // LTS is a labelled transition system. The zero value is not usable; create
@@ -72,7 +81,28 @@ type LTS struct {
 	transitions []Transition
 	outgoing    map[StateID][]int // state -> indices into transitions
 	incoming    map[StateID][]int
+
+	// compiled caches the CSR view every analysis runs on; mutators reset it.
+	// Concurrent readers may race to compile, which is harmless (both results
+	// are identical snapshots); mutation concurrent with reads is already
+	// excluded by the LTS contract.
+	compiled atomic.Pointer[Compiled]
 }
+
+// Compiled returns the CSR compilation of the LTS, building it on first use
+// and caching it until the next mutation. The result is an immutable snapshot
+// shared by all callers.
+func (l *LTS) Compiled() *Compiled {
+	if c := l.compiled.Load(); c != nil {
+		return c
+	}
+	c := Compile(l)
+	l.compiled.Store(c)
+	return c
+}
+
+// invalidate drops the cached compiled view after a mutation.
+func (l *LTS) invalidate() { l.compiled.Store(nil) }
 
 // New returns an empty LTS.
 func New() *LTS {
@@ -106,6 +136,7 @@ func (l *LTS) AddState(id StateID, props map[string]string) {
 	}
 	l.states[id] = s
 	l.order = append(l.order, id)
+	l.invalidate()
 }
 
 // SetInitial marks the initial state, adding it if necessary.
@@ -113,6 +144,7 @@ func (l *LTS) SetInitial(id StateID) {
 	l.AddState(id, nil)
 	l.initial = id
 	l.hasInitial = true
+	l.invalidate()
 }
 
 // Initial returns the initial state ID; ok is false if none was set.
@@ -157,6 +189,7 @@ func (l *LTS) AddTransition(from, to StateID, label Label) {
 	idx := len(l.transitions) - 1
 	l.outgoing[from] = append(l.outgoing[from], idx)
 	l.incoming[to] = append(l.incoming[to], idx)
+	l.invalidate()
 }
 
 // AddTransitionUnchecked appends a labelled transition without AddTransition's
@@ -172,6 +205,7 @@ func (l *LTS) AddTransitionUnchecked(from, to StateID, label Label) {
 	idx := len(l.transitions) - 1
 	l.outgoing[from] = append(l.outgoing[from], idx)
 	l.incoming[to] = append(l.incoming[to], idx)
+	l.invalidate()
 }
 
 // StateCount returns the number of states.
@@ -243,22 +277,19 @@ func (l *LTS) Reachable() (map[StateID]bool, error) {
 }
 
 // ReachableFrom returns the set of states reachable from the given state.
+// The traversal itself is an integer DFS with a bitset visited set over the
+// compiled view; only the returned membership map is allocated per call.
 func (l *LTS) ReachableFrom(start StateID) map[StateID]bool {
-	visited := make(map[StateID]bool)
-	if !l.HasState(start) {
-		return visited
+	c := l.Compiled()
+	s, ok := c.ids[start]
+	if !ok {
+		return make(map[StateID]bool)
 	}
-	stack := []StateID{start}
-	visited[start] = true
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, idx := range l.outgoing[cur] {
-			next := l.transitions[idx].To
-			if !visited[next] {
-				visited[next] = true
-				stack = append(stack, next)
-			}
+	bits, count := c.ReachableBits(s)
+	visited := make(map[StateID]bool, count)
+	for i, id := range c.states {
+		if bits.Has(int32(i)) {
+			visited[id] = true
 		}
 	}
 	return visited
@@ -267,13 +298,15 @@ func (l *LTS) ReachableFrom(start StateID) map[StateID]bool {
 // UnreachableStates returns states not reachable from the initial state,
 // sorted by ID. Generators should normally produce none.
 func (l *LTS) UnreachableStates() ([]StateID, error) {
-	reach, err := l.Reachable()
-	if err != nil {
-		return nil, err
+	c := l.Compiled()
+	init, ok := c.InitialIndex()
+	if !ok {
+		return nil, ErrNoInitialState
 	}
+	bits, _ := c.ReachableBits(init)
 	var out []StateID
-	for _, id := range l.order {
-		if !reach[id] {
+	for i, id := range c.states {
+		if !bits.Has(int32(i)) {
 			out = append(out, id)
 		}
 	}
@@ -284,13 +317,15 @@ func (l *LTS) UnreachableStates() ([]StateID, error) {
 // TerminalStates returns reachable states with no outgoing transitions,
 // sorted by ID.
 func (l *LTS) TerminalStates() ([]StateID, error) {
-	reach, err := l.Reachable()
-	if err != nil {
-		return nil, err
+	c := l.Compiled()
+	init, ok := c.InitialIndex()
+	if !ok {
+		return nil, ErrNoInitialState
 	}
+	bits, _ := c.ReachableBits(init)
 	var out []StateID
-	for _, id := range l.order {
-		if reach[id] && len(l.outgoing[id]) == 0 {
+	for i, id := range c.states {
+		if bits.Has(int32(i)) && c.OutDegree(int32(i)) == 0 {
 			out = append(out, id)
 		}
 	}
@@ -301,17 +336,21 @@ func (l *LTS) TerminalStates() ([]StateID, error) {
 // IsDeterministic reports whether no state has two outgoing transitions with
 // the same label string leading to different states.
 func (l *LTS) IsDeterministic() bool {
-	for id := range l.states {
-		seen := make(map[string]StateID)
-		for _, t := range l.Outgoing(id) {
-			label := ""
-			if t.Label != nil {
-				label = t.Label.LabelString()
-			}
-			if prev, ok := seen[label]; ok && prev != t.To {
+	c := l.Compiled()
+	seen := make(map[int32]int32)
+	for s := range c.states {
+		edges := c.Out(int32(s))
+		if len(edges) < 2 {
+			continue
+		}
+		clear(seen)
+		for _, e := range edges {
+			lid := c.edgeLabel[e]
+			to := c.edgeTo[e]
+			if prev, ok := seen[lid]; ok && prev != to {
 				return false
 			}
-			seen[label] = t.To
+			seen[lid] = to
 		}
 	}
 	return true
@@ -332,37 +371,39 @@ type Stats struct {
 
 // Stats computes summary statistics. It requires an initial state.
 func (l *LTS) Stats() (Stats, error) {
-	if !l.hasInitial {
+	c := l.Compiled()
+	init, ok := c.InitialIndex()
+	if !ok {
 		return Stats{}, ErrNoInitialState
 	}
-	st := Stats{States: len(l.states), Transitions: len(l.transitions)}
-	term, err := l.TerminalStates()
-	if err != nil {
-		return Stats{}, err
+	st := Stats{
+		States:       c.NumStates(),
+		Transitions:  c.NumEdges(),
+		MaxOutDegree: c.MaxOutDegree(),
 	}
-	st.Terminal = len(term)
-	unreach, err := l.UnreachableStates()
-	if err != nil {
-		return Stats{}, err
-	}
-	st.Unreachable = len(unreach)
-	for id := range l.states {
-		if d := len(l.outgoing[id]); d > st.MaxOutDegree {
-			st.MaxOutDegree = d
+	bits, reachable := c.ReachableBits(init)
+	st.Unreachable = c.NumStates() - reachable
+	for i := range c.states {
+		if bits.Has(int32(i)) && c.OutDegree(int32(i)) == 0 {
+			st.Terminal++
 		}
 	}
-	// BFS for depth.
-	dist := map[StateID]int{l.initial: 0}
-	queue := []StateID{l.initial}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if dist[cur] > st.Depth {
-			st.Depth = dist[cur]
+	// Integer BFS for depth.
+	dist := make([]int32, c.NumStates())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[init] = 0
+	queue := make([]int32, 0, 64)
+	queue = append(queue, init)
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		if int(dist[cur]) > st.Depth {
+			st.Depth = int(dist[cur])
 		}
-		for _, idx := range l.outgoing[cur] {
-			next := l.transitions[idx].To
-			if _, ok := dist[next]; !ok {
+		for _, e := range c.Out(cur) {
+			next := c.edgeTo[e]
+			if dist[next] < 0 {
 				dist[next] = dist[cur] + 1
 				queue = append(queue, next)
 			}

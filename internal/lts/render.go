@@ -57,10 +57,15 @@ func (l *LTS) DOT(opts DOTOptions) string {
 		}
 		g.AddNode(string(id), attrs)
 	}
-	for _, t := range l.transitions {
+	// Edge labels come from the compiled view's interned table, so each
+	// distinct label string is rendered once per model rather than once per
+	// transition.
+	c := l.Compiled()
+	for e := range c.trs {
+		t := c.trs[e]
 		attrs := map[string]string{}
 		if t.Label != nil {
-			attrs["label"] = t.Label.LabelString()
+			attrs["label"] = c.labelStrs[c.edgeLabel[e]]
 		}
 		if opts.TransitionAttrs != nil {
 			for k, v := range opts.TransitionAttrs(t) {
@@ -130,33 +135,42 @@ func (l *LTS) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return fmt.Errorf("lts: parsing LTS document: %w", err)
 	}
-	*l = *New()
+	// Rebuild into a fresh LTS and adopt its fields (the receiver's cached
+	// compiled view cannot be copied, only invalidated).
+	fresh := New()
 	for _, s := range doc.States {
-		l.AddState(StateID(s.ID), s.Props)
+		fresh.AddState(StateID(s.ID), s.Props)
 	}
 	for _, t := range doc.Transitions {
-		l.AddTransition(StateID(t.From), StateID(t.To), StringLabel(t.Label))
+		fresh.AddTransition(StateID(t.From), StateID(t.To), StringLabel(t.Label))
 	}
 	if doc.Initial != "" {
-		l.SetInitial(StateID(doc.Initial))
+		fresh.SetInitial(StateID(doc.Initial))
 	}
+	l.initial = fresh.initial
+	l.hasInitial = fresh.hasInitial
+	l.states = fresh.states
+	l.order = fresh.order
+	l.transitions = fresh.transitions
+	l.outgoing = fresh.outgoing
+	l.incoming = fresh.incoming
+	l.invalidate()
 	return nil
 }
 
 // LabelHistogram counts transitions per label string, sorted by label. It is
-// used in reports to summarise which actions dominate a model.
+// used in reports to summarise which actions dominate a model. The counting
+// runs over the compiled view's interned label table, so no label is
+// re-rendered.
 func (l *LTS) LabelHistogram() []LabelCount {
-	counts := make(map[string]int)
-	for _, t := range l.transitions {
-		label := ""
-		if t.Label != nil {
-			label = t.Label.LabelString()
-		}
-		counts[label]++
+	c := l.Compiled()
+	counts := make([]int, c.NumLabels())
+	for _, lid := range c.edgeLabel {
+		counts[lid]++
 	}
 	out := make([]LabelCount, 0, len(counts))
-	for label, n := range counts {
-		out = append(out, LabelCount{Label: label, Count: n})
+	for lid, n := range counts {
+		out = append(out, LabelCount{Label: c.labelStrs[lid], Count: n})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
 	return out

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+	"strconv"
 	"strings"
 
 	"privascope/internal/core"
@@ -47,6 +49,9 @@ type Finding struct {
 	Likelihood      float64
 	LikelihoodLevel Level
 	// Scenarios lists the scenario names contributing to the likelihood.
+	// The slice is shared across findings with the same likelihood class
+	// (like the Findings of a cached Assessment, it must be treated as
+	// immutable).
 	Scenarios []string
 	// Risk is the combined risk level from the matrix.
 	Risk Level
@@ -112,6 +117,16 @@ func (a *Assessment) MaxRiskFor(actor string) Level {
 // many user profiles.
 type Analyzer struct {
 	cfg Config
+
+	// Scenario aggregates, precomputed at construction: the summed
+	// probability and contributing names of the service-level scenarios (for
+	// declared flows of non-consented services) and of the remaining
+	// scenarios (for potential reads and mere exposure). The name slices are
+	// shared read-only across every finding they apply to.
+	serviceLikelihood float64
+	serviceScenarios  []string
+	otherLikelihood   float64
+	otherScenarios    []string
 }
 
 // NewAnalyzer returns an analyzer with the given configuration; zero-value
@@ -121,12 +136,30 @@ func NewAnalyzer(cfg Config) (*Analyzer, error) {
 	if err := cfg.Matrix.Validate(); err != nil {
 		return nil, err
 	}
+	// Written to reject NaN as well: a NaN probability would poison the
+	// precomputed likelihood aggregates below.
 	for _, s := range cfg.Scenarios {
-		if s.Probability < 0 || s.Probability > 1 {
+		if !(s.Probability >= 0 && s.Probability <= 1) {
 			return nil, fmt.Errorf("risk: scenario %q probability %v outside [0,1]", s.Name, s.Probability)
 		}
 	}
-	return &Analyzer{cfg: cfg}, nil
+	a := &Analyzer{cfg: cfg}
+	for _, s := range cfg.Scenarios {
+		if s.AppliesToService {
+			a.serviceLikelihood += s.Probability
+			a.serviceScenarios = append(a.serviceScenarios, s.Name)
+		} else {
+			a.otherLikelihood += s.Probability
+			a.otherScenarios = append(a.otherScenarios, s.Name)
+		}
+	}
+	if a.serviceLikelihood > 1 {
+		a.serviceLikelihood = 1
+	}
+	if a.otherLikelihood > 1 {
+		a.otherLikelihood = 1
+	}
+	return a, nil
 }
 
 // MustAnalyzer is like NewAnalyzer but panics on error; for fixtures.
@@ -146,6 +179,13 @@ func (a *Analyzer) Analyze(p *core.PrivacyLTS, profile UserProfile) (*Assessment
 // AnalyzeContext is Analyze with cancellation: ctx is polled while walking
 // the model's transitions, so analyses of very large models abort promptly
 // with ctx.Err() when the caller cancels or the deadline passes.
+//
+// The walk runs over the model's compiled view (core.PrivacyLTS.Compiled):
+// per-edge labels and newly-set state variables are pre-resolved to dense
+// actor/field indices once per model, and the profile's sensitivities and the
+// allowed-actor set are resolved to index-addressed tables once per call, so
+// the per-transition work is pure array arithmetic — no map lookups, no label
+// rendering and no Variable allocation.
 func (a *Analyzer) AnalyzeContext(ctx context.Context, p *core.PrivacyLTS, profile UserProfile) (*Assessment, error) {
 	if p == nil {
 		return nil, errors.New("risk: privacy LTS must not be nil")
@@ -179,27 +219,182 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *core.PrivacyLTS, profi
 		OverallRisk:      LevelNone,
 	}
 
-	sigma := func(field, actor string) float64 {
-		if allowedSet[actor] {
-			return 0
-		}
-		return profile.Sensitivity(field)
+	view := p.Compiled()
+	actors := view.Actors()
+	fields := view.Fields()
+
+	// Per-call index tables: σ(d) per vocabulary field and "is allowed" per
+	// vocabulary actor, so σ(d, a) inside the edge loop is two array loads.
+	allowedIdx := make([]bool, len(actors))
+	for i, name := range actors {
+		allowedIdx[i] = allowedSet[name]
+	}
+	sens := make([]float64, len(fields))
+	for i, f := range fields {
+		sens[i] = profile.Sensitivity(f)
+	}
+	consentedSet := make(map[string]bool, len(profile.ConsentedServices))
+	for _, svc := range profile.ConsentedServices {
+		consentedSet[svc] = true
 	}
 
-	for i, tr := range p.Graph.Transitions() {
+	// Report-rendering memos for this call: every finding quotes names drawn
+	// from the same small vocabulary and formats impact/likelihood values
+	// drawn from the profile's sensitivity set, so each distinct string is
+	// quoted and each distinct float formatted exactly once. The label's
+	// field-set copy is likewise shared per label across the findings (and
+	// calls) that reference it.
+	rc := newRenderCache()
+	fieldSets := make(map[*core.TransitionLabel][]string)
+
+	// Whole-report memo: a finding's explanation and mitigation are fully
+	// determined by the interned label string (which fixes action, fields,
+	// performer, datastore and the potential marker), the label's service,
+	// the at-risk actor, the driving field (which fixes the impact through
+	// the profile's sensitivities) and the likelihood class. The same
+	// disclosure event recurs from many states of the LTS — every state a
+	// potential read is enabled in repeats it — so each distinct event is
+	// rendered once per analysis.
+	type reportKey struct {
+		label        int32
+		actor        int32
+		driving      int32
+		service      string
+		serviceClass bool
+	}
+	type reportText struct {
+		explanation string
+		mitigation  string
+	}
+	reports := make(map[reportKey]reportText)
+
+	// Per-actor exposure scratch, reused across every transition via epoch
+	// stamping (no clearing, no per-transition map). Slots are only ever
+	// stamped with a positive impact, and ascending actor index equals
+	// ascending actor name, so iterating the slots in order reproduces the
+	// sorted-actor finding order of the per-transition assessment.
+	type exposure struct {
+		impact float64
+		// driving is the field whose sensitivity determines the impact.
+		driving int32
+		// identified is true when the transition sets a "has identified"
+		// variable for the actor, i.e. the actor actually receives the data
+		// through this transition rather than merely becoming able to read
+		// it later.
+		identified bool
+		stamp      uint32
+	}
+	slots := make([]exposure, len(actors))
+	epoch := uint32(0)
+
+	numEdges := view.Graph.NumEdges()
+	for e := 0; e < numEdges; e++ {
 		// Poll between transitions, spaced out so the atomic load never
 		// shows up on profiles of small models.
-		if i&255 == 0 {
+		if e&255 == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		label := core.LabelOf(tr)
+		label := view.Label(int32(e))
 		if label == nil {
 			continue
 		}
-		findings := a.assessTransition(p, profile, tr, label, sigma, allowedSet)
-		for _, finding := range findings {
+
+		// Impact per non-allowed actor: the maximum sensitivity among the
+		// state variables the transition newly sets for that actor, measured
+		// with σ(d, a) so variables of allowed actors contribute nothing. The
+		// change is measured relative to the source state; because variables
+		// only accumulate along paths from the absolute privacy state, this
+		// equals the paper's "change relative to the absolute privacy state"
+		// for the variables this transition introduces.
+		epoch++
+		exposed := false
+		for _, chg := range view.Changes(int32(e)) {
+			if allowedIdx[chg.Actor] {
+				continue
+			}
+			s := sens[chg.Field]
+			if s <= 0 {
+				continue
+			}
+			slot := &slots[chg.Actor]
+			if slot.stamp != epoch {
+				*slot = exposure{stamp: epoch}
+			}
+			if s > slot.impact {
+				slot.impact = s
+				slot.driving = chg.Field
+			}
+			if chg.Kind == core.HasIdentified {
+				slot.identified = true
+			}
+			exposed = true
+		}
+		if !exposed {
+			continue
+		}
+
+		// Likelihood: which scenarios can make the disclosure to this actor
+		// happen? Declared flows of non-consented services that actually hand
+		// the data over fall under the service-level scenarios; potential
+		// reads and mere exposure fall under the remaining scenarios
+		// (accidental access, maintenance exposure).
+		consented := label.Service != "" && consentedSet[label.Service]
+		tr := view.Graph.TransitionAt(int32(e))
+		fieldsJoined := view.FieldsJoined(int32(e))
+		fieldSet, ok := fieldSets[label]
+		if !ok {
+			fieldSet = label.FieldSet()
+			fieldSets[label] = fieldSet
+		}
+		lid := view.Graph.LabelID(int32(e))
+		for ai := range slots {
+			slot := &slots[ai]
+			if slot.stamp != epoch {
+				continue
+			}
+			serviceClass := !label.Potential && slot.identified && !consented
+			likelihood := a.otherLikelihood
+			scenarioNames := a.otherScenarios
+			if serviceClass {
+				likelihood = a.serviceLikelihood
+				scenarioNames = a.serviceScenarios
+			}
+
+			impactLevel := a.cfg.Matrix.ImpactLevel(slot.impact)
+			likelihoodLevel := a.cfg.Matrix.LikelihoodLevel(likelihood)
+			riskLevel := a.cfg.Matrix.Risk(impactLevel, likelihoodLevel)
+
+			finding := Finding{
+				Transition:      tr,
+				Action:          label.Action,
+				Actor:           actors[ai],
+				PerformedBy:     label.Actor,
+				Datastore:       label.Datastore,
+				Fields:          fieldSet,
+				Potential:       label.Potential,
+				Service:         label.Service,
+				DrivingField:    fields[slot.driving],
+				Impact:          slot.impact,
+				ImpactLevel:     impactLevel,
+				Likelihood:      likelihood,
+				LikelihoodLevel: likelihoodLevel,
+				Scenarios:       scenarioNames,
+				Risk:            riskLevel,
+			}
+			key := reportKey{label: lid, actor: int32(ai), driving: slot.driving,
+				service: label.Service, serviceClass: serviceClass}
+			text, ok := reports[key]
+			if !ok {
+				text = reportText{
+					explanation: a.explain(&finding, fieldsJoined, rc),
+					mitigation:  a.suggestMitigation(&finding, rc),
+				}
+				reports[key] = text
+			}
+			finding.Explanation = text.explanation
+			finding.Mitigation = text.mitigation
 			assessment.Findings = append(assessment.Findings, finding)
 			if finding.Risk > assessment.OverallRisk {
 				assessment.OverallRisk = finding.Risk
@@ -207,161 +402,166 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, p *core.PrivacyLTS, profi
 		}
 	}
 
-	sort.SliceStable(assessment.Findings, func(i, j int) bool {
-		fi, fj := assessment.Findings[i], assessment.Findings[j]
-		if fi.Risk != fj.Risk {
-			return fi.Risk > fj.Risk
+	// Order by decreasing risk, then impact, then actor. Sorting a
+	// permutation of indices and materialising once moves 4-byte ints
+	// through the sort instead of the wide Finding structs; the stable
+	// index sort reproduces sort.SliceStable's order exactly.
+	if n := len(assessment.Findings); n > 1 {
+		findings := assessment.Findings
+		perm := make([]int32, n)
+		for i := range perm {
+			perm[i] = int32(i)
 		}
-		if fi.Impact != fj.Impact {
-			return fi.Impact > fj.Impact
+		slices.SortStableFunc(perm, func(i, j int32) int {
+			fi, fj := &findings[i], &findings[j]
+			if fi.Risk != fj.Risk {
+				if fi.Risk > fj.Risk {
+					return -1
+				}
+				return 1
+			}
+			if fi.Impact != fj.Impact {
+				if fi.Impact > fj.Impact {
+					return -1
+				}
+				return 1
+			}
+			return strings.Compare(fi.Actor, fj.Actor)
+		})
+		sorted := make([]Finding, n)
+		for i, p := range perm {
+			sorted[i] = findings[p]
 		}
-		return fi.Actor < fj.Actor
-	})
+		assessment.Findings = sorted
+	}
 	return assessment, nil
 }
 
-// assessTransition computes impact, likelihood and risk for one transition.
-// A separate finding is produced for every non-allowed actor the transition
-// puts in a position to identify sensitive data.
-func (a *Analyzer) assessTransition(p *core.PrivacyLTS, profile UserProfile, tr lts.Transition,
-	label *core.TransitionLabel, sigma func(field, actor string) float64, allowedSet map[string]bool) []Finding {
-
-	// Impact per non-allowed actor: the maximum sensitivity among the state
-	// variables the transition newly sets for that actor, measured with
-	// σ(d, a) so variables of allowed actors contribute nothing. The change
-	// is measured relative to the source state; because variables only
-	// accumulate along paths from the absolute privacy state, this equals the
-	// paper's "change relative to the absolute privacy state" for the
-	// variables this transition introduces.
-	type exposure struct {
-		impact float64
-		// driving is the field whose sensitivity determines the impact.
-		driving string
-		// identified is true when the transition sets a "has identified"
-		// variable for the actor, i.e. the actor actually receives the data
-		// through this transition rather than merely becoming able to read
-		// it later.
-		identified bool
-	}
-	exposures := make(map[string]exposure)
-	for _, v := range p.ChangeOf(tr) {
-		s := sigma(v.Field, v.Actor)
-		if s <= 0 {
-			continue
-		}
-		cur := exposures[v.Actor]
-		if s > cur.impact {
-			cur.impact = s
-			cur.driving = v.Field
-		}
-		if v.Kind == core.HasIdentified {
-			cur.identified = true
-		}
-		exposures[v.Actor] = cur
-	}
-	if len(exposures) == 0 {
-		return nil
-	}
-	actors := make([]string, 0, len(exposures))
-	for actor := range exposures {
-		actors = append(actors, actor)
-	}
-	sort.Strings(actors)
-
-	// Likelihood: which scenarios can make the disclosure to this actor
-	// happen?
-	consented := label.Service != "" && profile.Consented(label.Service)
-	var findings []Finding
-	for _, actor := range actors {
-		exp := exposures[actor]
-		likelihood := 0.0
-		var scenarioNames []string
-		switch {
-		case !label.Potential && exp.identified && !consented:
-			// The actor actually receives the data through a declared flow of
-			// a service the user did not consent to: the
-			// non-consented-service scenario applies.
-			for _, s := range a.cfg.Scenarios {
-				if s.AppliesToService {
-					likelihood += s.Probability
-					scenarioNames = append(scenarioNames, s.Name)
-				}
-			}
-		default:
-			// Either a policy-permitted read outside any declared flow
-			// (potential read) or a flow that merely makes the data readable
-			// by a non-allowed actor: the actual disclosure happens through
-			// the accidental-access or maintenance-exposure scenarios.
-			for _, s := range a.cfg.Scenarios {
-				if s.AppliesToService {
-					continue
-				}
-				likelihood += s.Probability
-				scenarioNames = append(scenarioNames, s.Name)
-			}
-		}
-		if likelihood > 1 {
-			likelihood = 1
-		}
-
-		impactLevel := a.cfg.Matrix.ImpactLevel(exp.impact)
-		likelihoodLevel := a.cfg.Matrix.LikelihoodLevel(likelihood)
-		riskLevel := a.cfg.Matrix.Risk(impactLevel, likelihoodLevel)
-
-		finding := Finding{
-			Transition:      tr,
-			Action:          label.Action,
-			Actor:           actor,
-			PerformedBy:     label.Actor,
-			Datastore:       label.Datastore,
-			Fields:          label.FieldSet(),
-			Potential:       label.Potential,
-			Service:         label.Service,
-			DrivingField:    exp.driving,
-			Impact:          exp.impact,
-			ImpactLevel:     impactLevel,
-			Likelihood:      likelihood,
-			LikelihoodLevel: likelihoodLevel,
-			Scenarios:       scenarioNames,
-			Risk:            riskLevel,
-		}
-		finding.Explanation = a.explain(finding)
-		finding.Mitigation = a.suggestMitigation(finding, allowedSet)
-		findings = append(findings, finding)
-	}
-	return findings
+// renderCache memoises the report-path string conversions of one analysis:
+// quoted identifiers (every finding quotes actor, store and field names drawn
+// from the same vocabulary) and fixed-point floats (impacts come from the
+// profile's sensitivity set, likelihoods from the analyzer's two scenario
+// aggregates), so each distinct value goes through strconv exactly once per
+// Analyze call.
+type renderCache struct {
+	quoted map[string]string
+	fixed  map[float64]string
 }
 
-func (a *Analyzer) explain(f Finding) string {
+func newRenderCache() *renderCache {
+	return &renderCache{quoted: make(map[string]string), fixed: make(map[float64]string)}
+}
+
+// quote returns strconv.Quote(s), memoised.
+func (r *renderCache) quote(s string) string {
+	q, ok := r.quoted[s]
+	if !ok {
+		q = strconv.Quote(s)
+		r.quoted[s] = q
+	}
+	return q
+}
+
+// fixed2 returns the "%.2f" rendering of v, memoised.
+func (r *renderCache) fixed2(v float64) string {
+	s, ok := r.fixed[v]
+	if !ok {
+		s = strconv.FormatFloat(v, 'f', 2, 64)
+		r.fixed[v] = s
+	}
+	return s
+}
+
+// explain renders the finding's explanation. It is on the per-finding report
+// path of every analysis, so it writes directly into one pre-sized
+// strings.Builder through the render cache instead of going through fmt; the
+// output is byte-identical to the earlier fmt-based rendering, which the
+// reference-equivalence tests pin down. fieldsJoined is the label's field
+// list pre-joined with ", " (resolved once per edge by the compiled view).
+func (a *Analyzer) explain(f *Finding, fieldsJoined string, rc *renderCache) string {
 	var b strings.Builder
+	b.Grow(160 + len(f.Actor) + len(f.PerformedBy) + len(f.Service) + len(f.Datastore) +
+		len(fieldsJoined) + len(f.DrivingField))
+	writeQuoted := func(s string) { b.WriteString(rc.quote(s)) }
+	writeFixed2 := func(v float64) { b.WriteString(rc.fixed2(v)) }
 	switch {
 	case f.Potential:
-		fmt.Fprintf(&b, "non-allowed actor %q may %s %s from datastore %q although no declared flow requires it",
-			f.Actor, f.Action, strings.Join(f.Fields, ", "), f.Datastore)
+		b.WriteString("non-allowed actor ")
+		writeQuoted(f.Actor)
+		b.WriteString(" may ")
+		b.WriteString(f.Action.String())
+		b.WriteString(" ")
+		b.WriteString(fieldsJoined)
+		b.WriteString(" from datastore ")
+		writeQuoted(f.Datastore)
+		b.WriteString(" although no declared flow requires it")
 	case f.Actor == f.PerformedBy && f.Service != "":
-		fmt.Fprintf(&b, "flow of non-consented service %q lets actor %q %s %s",
-			f.Service, f.Actor, f.Action, strings.Join(f.Fields, ", "))
+		b.WriteString("flow of non-consented service ")
+		writeQuoted(f.Service)
+		b.WriteString(" lets actor ")
+		writeQuoted(f.Actor)
+		b.WriteString(" ")
+		b.WriteString(f.Action.String())
+		b.WriteString(" ")
+		b.WriteString(fieldsJoined)
 	case f.Service != "":
-		fmt.Fprintf(&b, "%s by %q in service %q exposes %s to non-allowed actor %q",
-			f.Action, f.PerformedBy, f.Service, strings.Join(f.Fields, ", "), f.Actor)
+		b.WriteString(f.Action.String())
+		b.WriteString(" by ")
+		writeQuoted(f.PerformedBy)
+		b.WriteString(" in service ")
+		writeQuoted(f.Service)
+		b.WriteString(" exposes ")
+		b.WriteString(fieldsJoined)
+		b.WriteString(" to non-allowed actor ")
+		writeQuoted(f.Actor)
 	default:
-		fmt.Fprintf(&b, "%s by %q exposes %s to non-allowed actor %q",
-			f.Action, f.PerformedBy, strings.Join(f.Fields, ", "), f.Actor)
+		b.WriteString(f.Action.String())
+		b.WriteString(" by ")
+		writeQuoted(f.PerformedBy)
+		b.WriteString(" exposes ")
+		b.WriteString(fieldsJoined)
+		b.WriteString(" to non-allowed actor ")
+		writeQuoted(f.Actor)
 	}
-	fmt.Fprintf(&b, "; most sensitive field %q (impact %.2f/%s, likelihood %.2f/%s) => risk %s",
-		f.DrivingField, f.Impact, f.ImpactLevel, f.Likelihood, f.LikelihoodLevel, f.Risk)
+	b.WriteString("; most sensitive field ")
+	writeQuoted(f.DrivingField)
+	b.WriteString(" (impact ")
+	writeFixed2(f.Impact)
+	b.WriteString("/")
+	b.WriteString(f.ImpactLevel.String())
+	b.WriteString(", likelihood ")
+	writeFixed2(f.Likelihood)
+	b.WriteString("/")
+	b.WriteString(f.LikelihoodLevel.String())
+	b.WriteString(") => risk ")
+	b.WriteString(f.Risk.String())
 	return b.String()
 }
 
-func (a *Analyzer) suggestMitigation(f Finding, allowedSet map[string]bool) string {
-	if allowedSet[f.Actor] {
-		return fmt.Sprintf("review whether field %q needs to be visible to %q at all", f.DrivingField, f.Actor)
+// suggestMitigation renders the finding's mitigation advice, built like
+// explain with direct writes and byte-identical to the earlier fmt-based
+// rendering. Findings only ever name non-allowed actors (σ is zero for
+// allowed ones), so no allowed-actor branch is needed here.
+func (a *Analyzer) suggestMitigation(f *Finding, rc *renderCache) string {
+	var b strings.Builder
+	writeQuoted := func(s string) { b.WriteString(rc.quote(s)) }
+	switch {
+	case f.Datastore != "":
+		b.Grow(112 + len(f.Actor) + len(f.Datastore) + len(f.DrivingField))
+		b.WriteString("remove or restrict ")
+		writeQuoted(f.Actor)
+		b.WriteString("'s read access to ")
+		b.WriteString(f.Datastore)
+		b.WriteString(".")
+		b.WriteString(f.DrivingField)
+		b.WriteString(" (e.g. accesscontrol.ACL.Restrict), or pseudonymise the field before storage")
+	default:
+		b.Grow(72 + len(f.Actor))
+		b.WriteString("remove actor ")
+		writeQuoted(f.Actor)
+		b.WriteString(" from the service or reduce the fields disclosed to it")
 	}
-	if f.Datastore != "" {
-		return fmt.Sprintf("remove or restrict %q's read access to %s.%s (e.g. accesscontrol.ACL.Restrict), or pseudonymise the field before storage",
-			f.Actor, f.Datastore, f.DrivingField)
-	}
-	return fmt.Sprintf("remove actor %q from the service or reduce the fields disclosed to it", f.Actor)
+	return b.String()
 }
 
 // Change describes how the assessed risk for one (actor, datastore, field)

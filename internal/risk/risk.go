@@ -91,13 +91,15 @@ type UserProfile struct {
 	DefaultSensitivity float64 `json:"default_sensitivity"`
 }
 
-// Validate checks that every sensitivity lies in [0,1].
+// Validate checks that every sensitivity lies in [0,1]. The comparisons are
+// written so NaN is rejected too: a NaN sensitivity would otherwise slip
+// through a plain range check and corrupt impact computation downstream.
 func (u UserProfile) Validate() error {
-	if u.DefaultSensitivity < 0 || u.DefaultSensitivity > 1 {
+	if !(u.DefaultSensitivity >= 0 && u.DefaultSensitivity <= 1) {
 		return fmt.Errorf("risk: default sensitivity %v outside [0,1]", u.DefaultSensitivity)
 	}
 	for f, s := range u.Sensitivities {
-		if s < 0 || s > 1 {
+		if !(s >= 0 && s <= 1) {
 			return fmt.Errorf("risk: sensitivity of %q is %v, outside [0,1]", f, s)
 		}
 	}

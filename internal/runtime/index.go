@@ -60,19 +60,30 @@ type stateEntry struct {
 type transitionIndex struct {
 	fieldBits map[string]int
 	words     int
-	states    map[lts.StateID]map[eventKey]*stateEntry
+	// graph resolves cursor state IDs to the dense indices states is
+	// addressed by.
+	graph *lts.Compiled
+	// states[denseState] buckets that state's outgoing transitions, nil for
+	// states with none.
+	states []map[eventKey]*stateEntry
 }
 
 // newTransitionIndex compiles the per-state event-matching tables of the
-// privacy LTS.
+// privacy LTS, reading the model through its compiled view: labels are
+// pre-resolved per edge and each state's outgoing transitions come straight
+// from the CSR layout, so no transition or label is re-derived here.
 func newTransitionIndex(p *core.PrivacyLTS) *transitionIndex {
+	view := p.Compiled()
+	c := view.Graph
 	ix := &transitionIndex{
 		fieldBits: make(map[string]int),
-		states:    make(map[lts.StateID]map[eventKey]*stateEntry, p.Graph.StateCount()),
+		graph:     c,
+		states:    make([]map[eventKey]*stateEntry, c.NumStates()),
 	}
 	// First pass: the field universe, so mask widths are known up front.
-	for _, tr := range p.Graph.Transitions() {
-		label := core.LabelOf(tr)
+	numEdges := c.NumEdges()
+	for e := 0; e < numEdges; e++ {
+		label := view.Label(int32(e))
 		if label == nil {
 			continue
 		}
@@ -89,14 +100,14 @@ func newTransitionIndex(p *core.PrivacyLTS) *transitionIndex {
 
 	// Second pass: bucket each state's outgoing transitions in insertion
 	// order, declared flows apart from potential reads.
-	for _, id := range p.Graph.StateIDs() {
-		outgoing := p.Graph.Outgoing(id)
-		if len(outgoing) == 0 {
+	for s := 0; s < c.NumStates(); s++ {
+		edges := c.Out(int32(s))
+		if len(edges) == 0 {
 			continue
 		}
 		entries := make(map[eventKey]*stateEntry)
-		for _, tr := range outgoing {
-			label := core.LabelOf(tr)
+		for _, e := range edges {
+			label := view.Label(e)
 			if label == nil {
 				continue
 			}
@@ -110,14 +121,14 @@ func newTransitionIndex(p *core.PrivacyLTS) *transitionIndex {
 			for _, f := range label.Fields {
 				mask.set(ix.fieldBits[f])
 			}
-			it := indexedTransition{tr: tr, fields: mask}
+			it := indexedTransition{tr: c.TransitionAt(e), fields: mask}
 			if label.Potential {
 				entry.potential = append(entry.potential, it)
 			} else {
 				entry.declared = append(entry.declared, it)
 			}
 		}
-		ix.states[id] = entries
+		ix.states[s] = entries
 	}
 	return ix
 }
@@ -131,7 +142,11 @@ func (ix *transitionIndex) match(cursor lts.StateID, ev service.Event) (lts.Tran
 	if len(ev.Fields) == 0 {
 		return lts.Transition{}, false
 	}
-	entries := ix.states[cursor]
+	s, ok := ix.graph.Index(cursor)
+	if !ok {
+		return lts.Transition{}, false
+	}
+	entries := ix.states[s]
 	if entries == nil {
 		return lts.Transition{}, false
 	}
