@@ -12,8 +12,29 @@ BENCHTIME ?= 2s
 # The benchmarks CI smokes on every push: the headline number of each
 # subsystem plus the compiled-vs-reference pairs this PR introduced.
 SMOKE_BENCH = LTSGeneration|MonitorThroughput|ValueRiskPipeline|EngineAssessCached|AnalyzeCompiled|AnalyzeReference|MinimizeCompiled|MinimizeReference
+# BASELINE is the perf-gate reference. It must be a like-for-like snapshot:
+# per-op numbers from a 1-iteration smoke run include un-amortised setup, so
+# they can only be compared against another 1-iteration run — never against
+# the full-benchtime BENCH_<n>.json trajectory records. The committed smoke
+# baseline is BENCH_smoke.json (re-record with `make bench-smoke N=smoke`
+# when benchmark behaviour changes deliberately); if it is absent the newest
+# BENCH_<n>.json is used as a best effort.
+BASELINE ?= $(shell test -f BENCH_smoke.json && echo BENCH_smoke.json \
+	|| ls BENCH_*.json 2>/dev/null | grep -v '^BENCH_ci\.json$$' | sort -t_ -k2 -n | tail -n 1)
+# Gated metrics for bench-compare: allocation counts are deterministic and
+# gate tightly; ns/op from a 1-iteration smoke run is noisy, so it only
+# catches order-of-magnitude blowups.
+COMPARE_METRICS ?= allocs/op,ns/op=300
+THRESHOLD_PCT ?= 25
+# Packages holding property tests; only their test binaries register the
+# -proptest.* flags, so soak runs must enumerate them instead of using ./...
+PROP_PACKAGES = . ./internal/proptest ./internal/proptest/scenario ./internal/synth \
+	./internal/core ./internal/lts ./internal/risk ./internal/anonymize \
+	./internal/pseudorisk ./internal/runtime
+ROUNDS ?= 64
+FUZZTIME ?= 30s
 
-.PHONY: build test vet bench bench-smoke
+.PHONY: build test vet bench bench-smoke bench-compare test-props fuzz
 
 build:
 	$(GO) build ./...
@@ -41,3 +62,29 @@ bench:
 # still recorded as BENCH_$(N).json so every CI run leaves a perf record.
 bench-smoke:
 	$(MAKE) bench BENCH='$(SMOKE_BENCH)' BENCHTIME=1x
+
+# bench-compare is the perf-regression gate: re-run the smoke benchmarks as
+# BENCH_ci.json and diff them against the newest committed snapshot with
+# cmd/benchjson -compare; a gated metric regressing past its threshold exits
+# nonzero and fails the build. Tune with e.g.:
+#   make bench-compare THRESHOLD_PCT=10 COMPARE_METRICS='allocs/op,B/op,ns/op=300'
+bench-compare:
+	@test -n "$(BASELINE)" || { echo "bench-compare: no committed BENCH_*.json baseline found"; exit 1; }
+	$(MAKE) bench-smoke N=ci
+	@echo "comparing against $(BASELINE)"
+	$(GO) run ./cmd/benchjson -compare -threshold-pct $(THRESHOLD_PCT) -metrics '$(COMPARE_METRICS)' $(BASELINE) BENCH_ci.json
+
+# test-props soaks the property suites with more rounds per property than the
+# bounded default that plain `go test ./...` runs (ROUNDS=64, override at
+# will). A failure prints the exact `-proptest.seed=N` one-liner to replay it.
+test-props:
+	$(GO) test -count=1 $(PROP_PACKAGES) -proptest.rounds=$(ROUNDS)
+
+# fuzz runs every native fuzz target for FUZZTIME each (go test accepts one
+# -fuzz pattern per package invocation, hence the separate lines). New
+# crashers land in the package's testdata/fuzz/<Target>/ corpus; commit them.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzObserve -fuzztime=$(FUZZTIME) ./internal/runtime
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/anonymize
+	$(GO) test -run='^$$' -fuzz=FuzzModelUnmarshal -fuzztime=$(FUZZTIME) ./internal/dataflow
+	$(GO) test -run='^$$' -fuzz=FuzzPolicyConstruction -fuzztime=$(FUZZTIME) ./internal/accesscontrol

@@ -1,22 +1,38 @@
 // Command benchjson converts `go test -bench` output into a stable JSON
 // document mapping each benchmark to its measurements, so the repository's
 // performance trajectory can be recorded per PR (see the `bench` make
-// target, which writes BENCH_<n>.json).
+// target, which writes BENCH_<n>.json) — and enforces that trajectory: the
+// -compare mode diffs two such documents and exits nonzero when a benchmark
+// regressed beyond the allowed threshold, which is how CI turns the
+// committed snapshots into a perf-regression gate.
 //
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem ./... | benchjson > BENCH_42.json
+//	benchjson -compare BENCH_42.json BENCH_43.json -threshold-pct 20
+//	benchjson -compare old.json new.json -metrics 'allocs/op=25,ns/op=300'
 //
 // Benchmarks are keyed as "<package>.<name>" (the name stripped of its
 // -GOMAXPROCS suffix) and carry every metric pair the benchmark emitted:
 // ns/op, B/op, allocs/op and any custom metrics such as states/sec.
+//
+// In -compare mode only benchmarks present in both documents are gated
+// (added or removed benchmarks are listed informationally), and only the
+// selected metrics count. -metrics takes a comma-separated list of metric
+// names, each optionally with its own percentage threshold ("name=pct");
+// names without one use -threshold-pct. The defaults gate allocs/op at the
+// base threshold and ns/op at a much looser one, because allocation counts
+// are deterministic while single-iteration CI timings are noisy.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -28,13 +44,42 @@ type entry struct {
 }
 
 func main() {
-	results, err := parse(bufio.NewScanner(os.Stdin))
+	compareMode := flag.Bool("compare", false,
+		"compare two benchmark JSON documents (old new) instead of converting bench output")
+	thresholdPct := flag.Float64("threshold-pct", 20,
+		"default allowed regression per gated metric, in percent")
+	metrics := flag.String("metrics", "allocs/op,ns/op=300",
+		"comma-separated metrics to gate, each optionally as name=pct to override -threshold-pct")
+	flag.Parse()
+
+	if !*compareMode {
+		results, err := parse(bufio.NewScanner(os.Stdin))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := emit(os.Stdout, results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+		os.Exit(2)
+	}
+	specs, err := parseMetricSpecs(*metrics, *thresholdPct)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
-	if err := emit(os.Stdout, results); err != nil {
+	regressed, err := compareFiles(os.Stdout, flag.Arg(0), flag.Arg(1), specs)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if regressed {
 		os.Exit(1)
 	}
 }
@@ -88,8 +133,126 @@ func parse(sc *bufio.Scanner) (map[string]entry, error) {
 
 // emit writes the results as indented JSON (encoding/json renders map keys
 // in sorted order, so the document is stable across runs).
-func emit(w *os.File, results map[string]entry) error {
+func emit(w io.Writer, results map[string]entry) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
+}
+
+// metricSpec is one gated metric and its allowed regression.
+type metricSpec struct {
+	name         string
+	thresholdPct float64
+}
+
+// parseMetricSpecs parses the -metrics list: comma-separated metric names,
+// each optionally suffixed "=pct" to override the default threshold.
+func parseMetricSpecs(list string, defaultPct float64) ([]metricSpec, error) {
+	if defaultPct <= 0 {
+		return nil, fmt.Errorf("threshold must be positive, got %v", defaultPct)
+	}
+	var specs []metricSpec
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec := metricSpec{thresholdPct: defaultPct}
+		if name, pct, ok := strings.Cut(part, "="); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(pct), 64)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("bad metric threshold %q", part)
+			}
+			spec.name, spec.thresholdPct = strings.TrimSpace(name), v
+		} else {
+			spec.name = part
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no metrics selected")
+	}
+	return specs, nil
+}
+
+// loadResults reads one benchmark JSON document.
+func loadResults(path string) (map[string]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results map[string]entry
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}
+
+// compareFiles loads both documents, writes the comparison report to w and
+// reports whether any gated metric regressed beyond its threshold.
+func compareFiles(w io.Writer, oldPath, newPath string, specs []metricSpec) (bool, error) {
+	oldResults, err := loadResults(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newResults, err := loadResults(newPath)
+	if err != nil {
+		return false, err
+	}
+	return compare(w, oldResults, newResults, specs), nil
+}
+
+// compare diffs the gated metrics of every benchmark present in both result
+// sets, writes one line per comparison and reports whether anything
+// regressed. A regression is a relative increase beyond the metric's
+// threshold; decreases and sub-threshold increases pass. Benchmarks present
+// on only one side are listed but never gate — they are additions or
+// removals, not regressions.
+func compare(w io.Writer, oldResults, newResults map[string]entry, specs []metricSpec) bool {
+	names := make([]string, 0, len(oldResults))
+	for name := range oldResults {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := false
+	for _, name := range names {
+		oldEntry := oldResults[name]
+		newEntry, ok := newResults[name]
+		if !ok {
+			fmt.Fprintf(w, "SKIP  %s: absent from new results\n", name)
+			continue
+		}
+		for _, spec := range specs {
+			oldValue, okOld := oldEntry.Metrics[spec.name]
+			newValue, okNew := newEntry.Metrics[spec.name]
+			if !okOld || !okNew {
+				continue
+			}
+			deltaPct := 0.0
+			if oldValue != 0 {
+				deltaPct = (newValue - oldValue) / oldValue * 100
+			} else if newValue != 0 {
+				deltaPct = 100
+			}
+			status := "ok  "
+			if deltaPct > spec.thresholdPct {
+				status = "FAIL"
+				regressed = true
+			}
+			fmt.Fprintf(w, "%s  %s %s: %.4g -> %.4g (%+.1f%%, threshold %+.0f%%)\n",
+				status, name, spec.name, oldValue, newValue, deltaPct, spec.thresholdPct)
+		}
+	}
+	var added []string
+	for name := range newResults {
+		if _, ok := oldResults[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(w, "NEW   %s: no baseline\n", name)
+	}
+	return regressed
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bufio"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -39,5 +41,158 @@ ok  	privascope	1.0s
 	}
 	if gen.Metrics["states/sec"] != 1234567 {
 		t.Fatalf("custom metric lost: %+v", gen)
+	}
+}
+
+func TestParseMetricSpecs(t *testing.T) {
+	specs, err := parseMetricSpecs("allocs/op,ns/op=300", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("parsed %d specs, want 2: %v", len(specs), specs)
+	}
+	if specs[0].name != "allocs/op" || specs[0].thresholdPct != 20 {
+		t.Fatalf("default-threshold spec wrong: %+v", specs[0])
+	}
+	if specs[1].name != "ns/op" || specs[1].thresholdPct != 300 {
+		t.Fatalf("override spec wrong: %+v", specs[1])
+	}
+	for _, bad := range []string{"", "ns/op=", "ns/op=abc", "ns/op=-5"} {
+		if _, err := parseMetricSpecs(bad, 20); err == nil {
+			t.Fatalf("parseMetricSpecs(%q) accepted bad input", bad)
+		}
+	}
+	if _, err := parseMetricSpecs("ns/op", 0); err == nil {
+		t.Fatal("parseMetricSpecs accepted a zero default threshold")
+	}
+}
+
+func bench(ns, allocs float64) entry {
+	return entry{Iterations: 100, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+// TestCompareFlagsInjectedRegression is the gate's self-test: an injected
+// 50% ns/op regression must turn the comparison red, while the same data
+// under a looser threshold — or a sub-threshold delta — stays green.
+func TestCompareFlagsInjectedRegression(t *testing.T) {
+	old := map[string]entry{
+		"pkg.BenchmarkFast": bench(1000, 10),
+		"pkg.BenchmarkSlow": bench(2000, 20),
+	}
+	degraded := map[string]entry{
+		"pkg.BenchmarkFast": bench(1500, 10), // +50% ns/op
+		"pkg.BenchmarkSlow": bench(2000, 20),
+	}
+	specs := []metricSpec{{name: "ns/op", thresholdPct: 20}, {name: "allocs/op", thresholdPct: 20}}
+
+	var out strings.Builder
+	if !compare(&out, old, degraded, specs) {
+		t.Fatalf("a 50%% ns/op regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "pkg.BenchmarkFast ns/op") {
+		t.Fatalf("report does not name the regressed benchmark:\n%s", out.String())
+	}
+
+	// The same regression is tolerated when ns/op's threshold is loosened
+	// past it (the CI smoke configuration), and allocs/op still gates.
+	loose := []metricSpec{{name: "ns/op", thresholdPct: 300}, {name: "allocs/op", thresholdPct: 20}}
+	out.Reset()
+	if compare(&out, old, degraded, loose) {
+		t.Fatalf("a 50%% ns/op delta failed a 300%% threshold:\n%s", out.String())
+	}
+}
+
+func TestCompareSubThresholdAndImprovements(t *testing.T) {
+	old := map[string]entry{"pkg.BenchmarkX": bench(1000, 100)}
+	specs := []metricSpec{{name: "ns/op", thresholdPct: 20}, {name: "allocs/op", thresholdPct: 20}}
+
+	var out strings.Builder
+	if compare(&out, old, map[string]entry{"pkg.BenchmarkX": bench(1100, 110)}, specs) {
+		t.Fatalf("a +10%% delta failed a 20%% threshold:\n%s", out.String())
+	}
+	out.Reset()
+	if compare(&out, old, map[string]entry{"pkg.BenchmarkX": bench(500, 50)}, specs) {
+		t.Fatalf("an improvement failed the gate:\n%s", out.String())
+	}
+}
+
+func TestCompareAllocRegressionGates(t *testing.T) {
+	old := map[string]entry{"pkg.BenchmarkX": bench(1000, 100)}
+	degraded := map[string]entry{"pkg.BenchmarkX": bench(1000, 150)}
+	specs := []metricSpec{{name: "ns/op", thresholdPct: 300}, {name: "allocs/op", thresholdPct: 20}}
+	var out strings.Builder
+	if !compare(&out, old, degraded, specs) {
+		t.Fatalf("a 50%% allocs/op regression passed the gate:\n%s", out.String())
+	}
+}
+
+func TestCompareAddedAndRemovedBenchmarksDoNotGate(t *testing.T) {
+	old := map[string]entry{
+		"pkg.BenchmarkKept":    bench(1000, 10),
+		"pkg.BenchmarkRemoved": bench(1000, 10),
+	}
+	new_ := map[string]entry{
+		"pkg.BenchmarkKept":  bench(1000, 10),
+		"pkg.BenchmarkAdded": bench(9999, 99),
+	}
+	specs := []metricSpec{{name: "ns/op", thresholdPct: 20}}
+	var out strings.Builder
+	if compare(&out, old, new_, specs) {
+		t.Fatalf("added/removed benchmarks tripped the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "SKIP  pkg.BenchmarkRemoved") ||
+		!strings.Contains(out.String(), "NEW   pkg.BenchmarkAdded") {
+		t.Fatalf("report does not list added/removed benchmarks:\n%s", out.String())
+	}
+}
+
+// TestCompareFilesEndToEnd drives the file-level entry point on documents
+// produced by the same parse→emit path `make bench` uses.
+func TestCompareFilesEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, benchOutput string) string {
+		results, err := parse(bufio.NewScanner(strings.NewReader(benchOutput)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := emit(f, results); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", `pkg: privascope/internal/lts
+BenchmarkMinimizeCompiled-8  100  1000000 ns/op  1000 B/op  100 allocs/op
+`)
+	newPath := write("new.json", `pkg: privascope/internal/lts
+BenchmarkMinimizeCompiled-8  100  1500000 ns/op  1000 B/op  100 allocs/op
+`)
+	specs := []metricSpec{{name: "ns/op", thresholdPct: 20}, {name: "allocs/op", thresholdPct: 20}}
+
+	var out strings.Builder
+	regressed, err := compareFiles(&out, oldPath, newPath, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("end-to-end compare missed a 50%% ns/op regression:\n%s", out.String())
+	}
+
+	regressed, err = compareFiles(&out, oldPath, oldPath, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("comparing a snapshot against itself regressed")
+	}
+
+	if _, err := compareFiles(&out, filepath.Join(dir, "missing.json"), newPath, specs); err == nil {
+		t.Fatal("compareFiles accepted a missing baseline")
 	}
 }

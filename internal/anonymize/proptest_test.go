@@ -1,0 +1,154 @@
+package anonymize_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"privascope/internal/anonymize"
+	"privascope/internal/proptest"
+	"privascope/internal/synth"
+)
+
+// minClassSize returns the size of the smallest equivalence class of the
+// table over the given quasi-identifiers (0 for an empty table).
+func minClassSize(t *testing.T, tab *anonymize.Table, qis []string) int {
+	t.Helper()
+	classes, err := tab.EquivalenceClasses(qis)
+	if err != nil {
+		t.Fatalf("EquivalenceClasses: %v", err)
+	}
+	min := tab.NumRows()
+	for _, c := range classes {
+		if len(c) < min {
+			min = len(c)
+		}
+	}
+	return min
+}
+
+// TestPropGeneralizingNeverDecreasesK is the metamorphic k-monotonicity
+// property: coarsening a quasi-identifier column with a wider aligned
+// binning can only merge equivalence classes, so the minimum class size —
+// and with it the k for which the table is k-anonymous — never decreases.
+// Width-doubling at origin 0 keeps bins aligned (every 2w-bin is the union
+// of two w-bins), which is exactly the generalisation ladder KAnonymize
+// climbs.
+func TestPropGeneralizingNeverDecreasesK(t *testing.T) {
+	proptest.Run(t, func(seed int64, rng *rand.Rand) error {
+		tab, qis := synth.RandomTable(rng, 64)
+		column := qis[rng.Intn(len(qis))]
+		width := math.Pow(2, float64(rng.Intn(4))) // 1, 2, 4 or 8
+
+		fine, err := anonymize.Spec{column: anonymize.NumericBinning{Width: width}}.Apply(tab)
+		if err != nil {
+			return err
+		}
+		coarse, err := anonymize.Spec{column: anonymize.NumericBinning{Width: 2 * width}}.Apply(tab)
+		if err != nil {
+			return err
+		}
+		kFine, kCoarse := minClassSize(t, fine, qis), minClassSize(t, coarse, qis)
+		if kCoarse < kFine {
+			t.Fatalf("seed %d: doubling %s's bin width from %v dropped the minimum class size %d -> %d",
+				seed, column, width, kFine, kCoarse)
+		}
+		return nil
+	})
+}
+
+// TestPropKAnonymizeReachesK: every equivalence class of the anonymised
+// table that contains no suppressed row has at least k rows. (The suppressed
+// rows share one fully-suppressed class that may legitimately stay below k —
+// their quasi-identifiers are gone entirely.)
+func TestPropKAnonymizeReachesK(t *testing.T) {
+	proptest.Run(t, func(seed int64, rng *rand.Rand) error {
+		tab, qis := synth.RandomTable(rng, 64)
+		k := 2 + rng.Intn(3)
+		out, res, err := anonymize.KAnonymize(tab, qis, k, anonymize.KAnonymizeOptions{})
+		if err != nil {
+			return err
+		}
+		suppressed := make(map[int]bool, len(res.SuppressedRows))
+		for _, r := range res.SuppressedRows {
+			suppressed[r] = true
+		}
+		classes, err := out.EquivalenceClasses(qis)
+		if err != nil {
+			return err
+		}
+		for _, class := range classes {
+			if suppressed[class[0]] {
+				continue
+			}
+			if len(class) < k {
+				t.Fatalf("seed %d: k=%d but a non-suppressed class has %d rows (widths %v)",
+					seed, k, len(class), res.Widths)
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropClassIndexMatchesEquivalenceClasses is the cross-implementation
+// invariant between the two partition implementations: the cached,
+// parallel ClassIndex must produce exactly the partition the sequential
+// Table.EquivalenceClasses produces, for every worker count.
+func TestPropClassIndexMatchesEquivalenceClasses(t *testing.T) {
+	proptest.Run(t, func(seed int64, rng *rand.Rand) error {
+		tab, qis := synth.RandomTable(rng, 64)
+		want, err := tab.EquivalenceClasses(qis)
+		if err != nil {
+			return err
+		}
+		for _, workers := range []int{1, 2, 4} {
+			ix := anonymize.NewClassIndex(tab, workers)
+			got, err := ix.Classes(qis)
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: ClassIndex with %d workers diverges from EquivalenceClasses",
+					seed, workers)
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropCSVCanonicalFormIsIdempotent: writing a random table to CSV,
+// reading it back and writing it again reproduces the first output byte for
+// byte — the CSV codec has a canonical form it converges to in one round
+// trip.
+func TestPropCSVCanonicalFormIsIdempotent(t *testing.T) {
+	proptest.Run(t, func(seed int64, rng *rand.Rand) error {
+		tab, _ := synth.RandomTable(rng, 64)
+
+		var first bytes.Buffer
+		if err := anonymize.WriteCSV(&first, tab); err != nil {
+			return err
+		}
+		spec := anonymize.ColumnSpec{}
+		for _, col := range tab.Columns() {
+			spec[col.Name] = col.Role
+		}
+		back, err := anonymize.ReadCSV(bytes.NewReader(first.Bytes()), spec)
+		if err != nil {
+			return err
+		}
+		if back.NumRows() != tab.NumRows() {
+			t.Fatalf("seed %d: round trip changed row count %d -> %d", seed, tab.NumRows(), back.NumRows())
+		}
+		var second bytes.Buffer
+		if err := anonymize.WriteCSV(&second, back); err != nil {
+			return err
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("seed %d: CSV canonical form is not idempotent:\nfirst:\n%s\nsecond:\n%s",
+				seed, first.String(), second.String())
+		}
+		return nil
+	})
+}

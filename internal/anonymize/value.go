@@ -146,10 +146,14 @@ func (v Value) bounds() (float64, float64) {
 func (v Value) Equal(other Value) bool { return v == other }
 
 // ParseValue parses a cell from text: "lo-hi" becomes an interval, a number
-// becomes numeric, "*" becomes suppressed, anything else categorical.
+// becomes numeric, "*" or an empty cell becomes suppressed, anything else
+// categorical. Empty cells map to suppressed rather than Cat("") so that a
+// missing value is treated as removed data and — unlike an empty category,
+// which renders as a blank CSV cell that encoding/csv cannot round-trip when
+// a whole record is blank — survives a write/read cycle.
 func ParseValue(s string) Value {
 	s = strings.TrimSpace(s)
-	if s == "*" {
+	if s == "*" || s == "" {
 		return Suppressed()
 	}
 	if n, err := strconv.ParseFloat(s, 64); err == nil {

@@ -149,6 +149,60 @@ func (p *PrivacyLTS) DeclaredTransitions() []lts.Transition {
 	return out
 }
 
+// Minimized returns the quotient of the privacy LTS under payload-respecting
+// label-signature bisimulation as a new PrivacyLTS, together with the
+// mapping from original to representative state IDs. The quotient only
+// merges states with identical privacy vectors and datastore contents
+// (lts.MinimizeRespecting seeded with the state payload key), so every
+// quotient state's payload is exact — not a representative's approximation —
+// and every quotient transition's vector delta is an original delta and vice
+// versa. Risk assessments therefore see the same disclosure events on the
+// quotient as on the original, a metamorphic property the randomized test
+// harness checks. (Plain Graph.Minimize without the payload refinement does
+// NOT have this property: merging states with different vectors manufactures
+// deltas no original transition performs.)
+func (p *PrivacyLTS) Minimized() (*PrivacyLTS, map[lts.StateID]lts.StateID) {
+	min, mapping := p.Graph.MinimizeRespecting(p.payloadKey)
+	q := &PrivacyLTS{
+		Model:    p.Model,
+		Vocab:    p.Vocab,
+		Graph:    min,
+		Warnings: p.Warnings,
+		vectors:  make(map[lts.StateID]StateVector, min.StateCount()),
+		stores:   make(map[lts.StateID]map[string]schema.FieldSet, min.StateCount()),
+	}
+	for orig, rep := range mapping {
+		if orig == rep {
+			q.vectors[rep] = p.vectors[rep]
+			q.stores[rep] = p.stores[rep]
+		}
+	}
+	return q, mapping
+}
+
+// payloadKey canonically serialises the state's privacy vector and datastore
+// contents; states agreeing on it are interchangeable for every analysis in
+// this module.
+func (p *PrivacyLTS) payloadKey(id lts.StateID) string {
+	var b strings.Builder
+	b.WriteString(p.vectors[id].Key())
+	storeMap := p.stores[id]
+	storeIDs := make([]string, 0, len(storeMap))
+	for sid := range storeMap {
+		if !storeMap[sid].IsEmpty() {
+			storeIDs = append(storeIDs, sid)
+		}
+	}
+	sort.Strings(storeIDs)
+	for _, sid := range storeIDs {
+		b.WriteString("|")
+		b.WriteString(sid)
+		b.WriteString("=")
+		b.WriteString(strings.Join(storeMap[sid].Names(), ","))
+	}
+	return b.String()
+}
+
 // Stats summarises the generated model.
 type Stats struct {
 	States               int

@@ -1,0 +1,77 @@
+package dataflow
+
+import (
+	"testing"
+
+	"privascope/internal/accesscontrol"
+	"privascope/internal/schema"
+)
+
+// fuzzSeedModel is a compact valid model document (with an ACL section) used
+// to seed the decoder fuzzer; mutations of it explore the validation paths.
+func fuzzSeedModel(f *testing.F) []byte {
+	f.Helper()
+	b := NewBuilder("fuzz-seed", Actor{ID: "patient", Name: "Patient"})
+	b.AddActors(Actor{ID: "doctor", Name: "Doctor"})
+	b.AddDatastore(schema.Datastore{ID: "ehr", Name: "EHR", Schema: schema.MustSchema("ehr",
+		schema.Field{Name: "name", Category: schema.CategoryIdentifier},
+		schema.Field{Name: "diagnosis", Category: schema.CategorySensitive},
+	)})
+	b.AddService(Service{ID: "care", Name: "Care"})
+	b.Flow("care", "patient", "doctor", []string{"name"}, "registration")
+	b.AuthoredFlow("care", "doctor", "ehr", []string{"name", "diagnosis"}, []string{"diagnosis"}, "record")
+	b.WithPolicy(accesscontrol.MustACL(accesscontrol.Grant{
+		Actor: "doctor", Datastore: "ehr", Fields: []string{accesscontrol.AllFields},
+		Permissions: []accesscontrol.Permission{accesscontrol.PermissionRead, accesscontrol.PermissionWrite},
+	}))
+	m, err := b.Build()
+	if err != nil {
+		f.Fatalf("building seed model: %v", err)
+	}
+	data, err := Marshal(m)
+	if err != nil {
+		f.Fatalf("marshalling seed model: %v", err)
+	}
+	return data
+}
+
+// FuzzModelUnmarshal feeds arbitrary bytes through the model decoder.
+// Garbage must be rejected with an error, never a panic; any document the
+// decoder accepts must be a valid model that survives a Marshal/Unmarshal
+// round trip with its semantic fingerprint intact — the property the
+// Engine's fingerprint-keyed cache depends on.
+func FuzzModelUnmarshal(f *testing.F) {
+	f.Add(fuzzSeedModel(f))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","user":{"id":"u"}}`))
+	f.Add([]byte(`{"name":"x","user":{"id":"u"},"acl":[{"actor":"a","datastore":"d","fields":["*"],"permissions":["read"]}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Unmarshal accepted an invalid model: %v", err)
+		}
+		out, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("re-marshalling an accepted model failed: %v", err)
+		}
+		again, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-parsing our own output failed: %v\noutput:\n%s", err, out)
+		}
+		fp1, err := Fingerprint(m)
+		if err != nil {
+			t.Fatalf("fingerprinting an accepted model failed: %v", err)
+		}
+		fp2, err := Fingerprint(again)
+		if err != nil {
+			t.Fatalf("fingerprinting the round-tripped model failed: %v", err)
+		}
+		if fp1 != fp2 {
+			t.Fatalf("round trip changed the model fingerprint: %s vs %s", fp1, fp2)
+		}
+	})
+}

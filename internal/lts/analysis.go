@@ -224,29 +224,44 @@ func (l *LTS) TracesFrom(start StateID, maxDepth, maxTraces int) []Trace {
 // numbering is canonical — first encounter in state order — so two rounds
 // assign identical arrays exactly when the partition stopped refining).
 func (l *LTS) Minimize() (*LTS, map[StateID]StateID) {
+	return l.MinimizeRespecting(nil)
+}
+
+// MinimizeRespecting is Minimize with a caller-refined initial partition:
+// states start in the same block only when classOf assigns them the same
+// class (on top of the terminal/non-terminal split), so states from
+// different classes are never merged. Callers use it to make the quotient
+// respect state payloads the LTS itself does not know about — the privacy
+// layer passes each state's privacy-vector key, which makes every quotient
+// transition's vector delta an exact original delta and vice versa. A nil
+// classOf puts every state in one class, which is plain Minimize.
+func (l *LTS) MinimizeRespecting(classOf func(StateID) string) (*LTS, map[StateID]StateID) {
 	c := l.Compiled()
 	n := c.NumStates()
 
-	// Initial partition: split by terminal/non-terminal, blocks numbered by
-	// first encounter in state order (the canonical numbering every round
-	// uses, so the stability comparison below is a plain array equality).
+	// Initial partition: split by terminal/non-terminal and the caller's
+	// class, blocks numbered by first encounter in state order (the
+	// canonical numbering every round uses, so the stability comparison
+	// below is a plain array equality).
 	block := make([]int32, n)
 	numBlocks := 0
-	termBlock, stepBlock := int32(-1), int32(-1)
+	type initKey struct {
+		terminal bool
+		class    string
+	}
+	initBlocks := make(map[initKey]int32, 2)
 	for i := 0; i < n; i++ {
-		if c.OutDegree(int32(i)) == 0 {
-			if termBlock < 0 {
-				termBlock = int32(numBlocks)
-				numBlocks++
-			}
-			block[i] = termBlock
-		} else {
-			if stepBlock < 0 {
-				stepBlock = int32(numBlocks)
-				numBlocks++
-			}
-			block[i] = stepBlock
+		key := initKey{terminal: c.OutDegree(int32(i)) == 0}
+		if classOf != nil {
+			key.class = classOf(c.states[i])
 		}
+		b, ok := initBlocks[key]
+		if !ok {
+			b = int32(numBlocks)
+			numBlocks++
+			initBlocks[key] = b
+		}
+		block[i] = b
 	}
 
 	// blockRep remembers, per new block, the signature that founded it, for

@@ -1,0 +1,148 @@
+// Package proptest is the seed-reproducible property-testing harness of this
+// repository: every randomized invariant test in the module runs through it,
+// so every failure — no matter which package, which property, which CI soak —
+// reduces to a single number that reproduces it locally:
+//
+//	go test -run 'TestPropFoo' ./internal/foo -proptest.seed=1234567890
+//
+// The harness is deliberately free of dependencies on the packages it helps
+// test (it imports only the standard library), so it can be used from any
+// test file in the module, including internal test packages of the lowest
+// layers (internal/lts). The scenario fuzzer that bundles random data-flow
+// models, policies, populations and datasets lives in the scenario
+// subpackage; random model generation itself is internal/synth's job.
+//
+// # Round model
+//
+// A property is a function of one seed. Run executes it for a bounded number
+// of rounds (Rounds, configurable with -proptest.rounds; halved under
+// -short), deriving each round's seed deterministically from the property
+// name, so plain `go test ./...` explores the same corpus on every machine
+// and CI soaks with larger -proptest.rounds extend — never replace — that
+// corpus. When -proptest.seed=N is given, exactly one round runs with seed N:
+// the reproduction mode printed by every failure.
+package proptest
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+var (
+	seedFlag = flag.Int64("proptest.seed", 0,
+		"run every proptest property for exactly one round with this scenario seed (reproduction mode)")
+	roundsFlag = flag.Int("proptest.rounds", 0,
+		"rounds per proptest property; 0 selects the default (bounded short-mode corpus)")
+)
+
+// DefaultRounds is the per-property round count of a plain `go test` run. It
+// is sized so the whole-module property catalog stays well within tier-1 test
+// budget while still exercising dozens of distinct scenarios per package.
+const DefaultRounds = 8
+
+// Rounds returns the number of rounds each property runs: -proptest.rounds
+// when set, otherwise DefaultRounds (halved under -short so `go test -short`
+// stays snappy). A -proptest.seed reproduction always runs exactly one round
+// regardless of this value.
+func Rounds() int {
+	if *roundsFlag > 0 {
+		return *roundsFlag
+	}
+	if testing.Short() {
+		return DefaultRounds / 2
+	}
+	return DefaultRounds
+}
+
+// ReproSeed returns the seed forced by -proptest.seed, and whether the flag
+// was set.
+func ReproSeed() (int64, bool) { return *seedFlag, *seedFlag != 0 }
+
+// SeedOf derives the seed of one round of the named property. The derivation
+// is pure (FNV-1a over the name, mixed with the round index through the
+// splitmix64 finalizer), so a property's corpus is stable across runs,
+// machines and -run selections, and extending the round count only appends
+// new seeds.
+func SeedOf(name string, round int) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	seed := int64(mix64(h + uint64(round)*0x9e3779b97f4a7c15))
+	if seed == 0 {
+		// Seed zero is reserved for "-proptest.seed unset"; remap it.
+		seed = int64(mix64(h + 1))
+	}
+	return seed
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijection with full avalanche,
+// so consecutive round indices yield unrelated seeds.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Property is one randomized invariant: it builds a scenario from the seed
+// (directly or through the supplied rng, which is seeded with the same
+// value), checks the invariant, and returns a non-nil error describing the
+// violation. Properties must be pure functions of the seed — that is the
+// whole reproducibility contract.
+type Property func(seed int64, rng *rand.Rand) error
+
+// Check runs the property for the given rounds using the seed schedule of
+// the named property, returning the first failing seed and its error;
+// failed is false when every round passed. Check never touches testing.T, so
+// the harness's own tests can mutation-test it: inject a violated invariant,
+// assert the returned seed reproduces the violation.
+func Check(name string, rounds int, prop Property) (seed int64, err error) {
+	for round := 0; round < rounds; round++ {
+		seed := SeedOf(name, round)
+		if err := prop(seed, rand.New(rand.NewSource(seed))); err != nil {
+			return seed, err
+		}
+	}
+	return 0, nil
+}
+
+// CheckSeed runs exactly one round of the property with the given seed.
+func CheckSeed(seed int64, prop Property) error {
+	return prop(seed, rand.New(rand.NewSource(seed)))
+}
+
+// Run executes the property under the harness configuration: one round with
+// -proptest.seed when set, otherwise Rounds() rounds over the deterministic
+// seed schedule of t.Name(). The first violation fails the test with a
+// single-line `-proptest.seed=N` reproduction header followed by the
+// property's error.
+func Run(t testing.TB, prop Property) {
+	t.Helper()
+	if seed, ok := ReproSeed(); ok {
+		if err := CheckSeed(seed, prop); err != nil {
+			t.Fatalf("%s", FailureMessage(t.Name(), seed, err))
+		}
+		return
+	}
+	if seed, err := Check(t.Name(), Rounds(), prop); err != nil {
+		t.Fatalf("%s", FailureMessage(t.Name(), seed, err))
+	}
+}
+
+// FailureMessage renders the harness's failure report: the first line is the
+// complete reproduction command for the failing seed, the rest is the
+// property's own account of the violation.
+func FailureMessage(name string, seed int64, err error) string {
+	return fmt.Sprintf("property %s failed; reproduce with: go test -run '%s' -proptest.seed=%d\n%v",
+		name, name, seed, err)
+}

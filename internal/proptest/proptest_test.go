@@ -1,0 +1,119 @@
+package proptest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSeedScheduleIsDeterministic(t *testing.T) {
+	for round := 0; round < 100; round++ {
+		if got, want := SeedOf("TestPropX", round), SeedOf("TestPropX", round); got != want {
+			t.Fatalf("SeedOf not deterministic at round %d: %d vs %d", round, got, want)
+		}
+	}
+}
+
+func TestSeedScheduleSeparatesNamesAndRounds(t *testing.T) {
+	seen := make(map[int64]string)
+	for _, name := range []string{"TestPropA", "TestPropB", "TestPropC"} {
+		for round := 0; round < 64; round++ {
+			seed := SeedOf(name, round)
+			if seed == 0 {
+				t.Fatalf("SeedOf(%q, %d) = 0; zero is reserved for the unset flag", name, round)
+			}
+			key := fmt.Sprintf("%s/%d", name, round)
+			if prev, dup := seen[seed]; dup {
+				t.Fatalf("seed collision: %s and %s both map to %d", prev, key, seed)
+			}
+			seen[seed] = key
+		}
+	}
+}
+
+// TestInjectedViolationIsReproducible is the mutation test the harness's
+// reproducibility claim rests on: a property that fails for some seeds must
+// be reported with a seed that makes CheckSeed fail with the same error, and
+// the rendered failure must carry the one-line -proptest.seed reproduction.
+func TestInjectedViolationIsReproducible(t *testing.T) {
+	// The injected "bug": the invariant is violated whenever the scenario's
+	// first draw lands in the top quarter of the range — frequent enough that
+	// the default round count must catch it.
+	broken := func(seed int64, rng *rand.Rand) error {
+		if v := rng.Intn(100); v >= 75 {
+			return fmt.Errorf("injected violation: drew %d", v)
+		}
+		return nil
+	}
+
+	seed, err := Check("TestInjectedViolationIsReproducible", 64, broken)
+	if err == nil {
+		t.Fatal("Check missed the injected violation over 64 rounds")
+	}
+
+	reproduced := CheckSeed(seed, broken)
+	if reproduced == nil {
+		t.Fatalf("CheckSeed(%d) did not reproduce the violation", seed)
+	}
+	if reproduced.Error() != err.Error() {
+		t.Fatalf("reproduction diverged: first run %q, repro run %q", err, reproduced)
+	}
+
+	msg := FailureMessage("TestInjectedViolationIsReproducible", seed, err)
+	wantLine := fmt.Sprintf("-proptest.seed=%d", seed)
+	if !strings.Contains(msg, wantLine) {
+		t.Fatalf("failure message lacks the reproduction flag %q:\n%s", wantLine, msg)
+	}
+	if first := strings.SplitN(msg, "\n", 2)[0]; !strings.Contains(first, "go test -run") {
+		t.Fatalf("first line of failure message is not a runnable reproduction: %q", first)
+	}
+}
+
+func TestCheckPassesCleanProperty(t *testing.T) {
+	calls := 0
+	seed, err := Check("TestCheckPassesCleanProperty", 16, func(seed int64, rng *rand.Rand) error {
+		calls++
+		if seed == 0 {
+			return errors.New("harness handed out the reserved zero seed")
+		}
+		return nil
+	})
+	if err != nil || seed != 0 {
+		t.Fatalf("clean property reported failure: seed=%d err=%v", seed, err)
+	}
+	if calls != 16 {
+		t.Fatalf("Check ran %d rounds, want 16", calls)
+	}
+}
+
+func TestRunHonoursReproSeed(t *testing.T) {
+	old := *seedFlag
+	*seedFlag = 424242
+	defer func() { *seedFlag = old }()
+
+	var got []int64
+	Run(t, func(seed int64, rng *rand.Rand) error {
+		got = append(got, seed)
+		return nil
+	})
+	if len(got) != 1 || got[0] != 424242 {
+		t.Fatalf("repro mode ran seeds %v, want exactly [424242]", got)
+	}
+}
+
+func TestRoundsFlagOverridesDefault(t *testing.T) {
+	old := *roundsFlag
+	*roundsFlag = 3
+	defer func() { *roundsFlag = old }()
+
+	calls := 0
+	Run(t, func(seed int64, rng *rand.Rand) error {
+		calls++
+		return nil
+	})
+	if calls != 3 {
+		t.Fatalf("Run executed %d rounds with -proptest.rounds=3, want 3", calls)
+	}
+}

@@ -1,0 +1,73 @@
+// Package scenario draws complete randomized verification scenarios — a
+// random data-flow model with a random policy, a random user population, a
+// random health-record table and random generation options — from a single
+// seed. It is the bridge between the proptest harness (which owns seeds and
+// reproduction) and the synth generators (which own randomized structure):
+// property tests across core, risk, runtime and the root package call
+// scenario.Draw(seed) and get the same scenario on every machine.
+//
+// The package deliberately sits above internal/core in the dependency order,
+// so internal test packages of the layers below (internal/lts) must keep
+// using internal/proptest with their own local generators instead.
+package scenario
+
+import (
+	"math/rand"
+
+	"privascope/internal/anonymize"
+	"privascope/internal/core"
+	"privascope/internal/dataflow"
+	"privascope/internal/risk"
+	"privascope/internal/synth"
+)
+
+// Scenario is one fully-drawn verification scenario. Every field is a pure
+// function of Seed.
+type Scenario struct {
+	// Seed is the value the scenario was drawn from, echoed for failure
+	// messages.
+	Seed int64
+	// Model is a random valid data-flow model with a random
+	// ACL/RBAC/Composite policy (synth.RandomModel).
+	Model *dataflow.Model
+	// Profiles is a random user population over Model's fields.
+	Profiles []risk.UserProfile
+	// Table is a random health-record dataset and QuasiIdentifiers its QI
+	// column names.
+	Table            *anonymize.Table
+	QuasiIdentifiers []string
+	// Opts is a random-but-valid generation configuration: random flow
+	// ordering, random potential-read mode, random worker count. MaxStates
+	// stays at the default — random models are bounded by RandomModelSpec,
+	// not by truncation, so generation never hits the state cap.
+	Opts core.Options
+}
+
+// Draw materializes the scenario for one seed.
+func Draw(seed int64) *Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	m := synth.RandomModel(rng, synth.RandomModelSpec{})
+	profiles := synth.RandomPopulation(rng, m, 8)
+	table, qis := synth.RandomTable(rng, 64)
+	opts := core.Options{
+		FlowOrdering: []core.FlowOrdering{
+			core.OrderSequential, core.OrderDataDriven}[rng.Intn(2)],
+		PotentialReads: []core.PotentialReadMode{
+			core.PotentialReadsOff, core.PotentialReadsTerminal, core.PotentialReadsFull}[rng.Intn(3)],
+		Workers: 1 + rng.Intn(4),
+	}
+	return &Scenario{
+		Seed:             seed,
+		Model:            m,
+		Profiles:         profiles,
+		Table:            table,
+		QuasiIdentifiers: qis,
+		Opts:             opts,
+	}
+}
+
+// Generate runs privacy-LTS generation for the scenario with its drawn
+// options.
+func (s *Scenario) Generate() (*core.PrivacyLTS, error) {
+	return core.GenerateWithOptions(s.Model, s.Opts)
+}

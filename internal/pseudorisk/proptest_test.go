@@ -1,0 +1,130 @@
+package pseudorisk_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"privascope/internal/anonymize"
+	"privascope/internal/proptest"
+	"privascope/internal/pseudorisk"
+)
+
+// randomWeightTable draws a pseudonymised health-record table with a numeric
+// sensitive column, shaped like the paper's Table I: interval-valued age,
+// categorical city, numeric weight.
+func randomWeightTable(rng *rand.Rand, maxRows int) *anonymize.Table {
+	cities := []string{"North", "South", "East", "West"}
+	t := anonymize.MustTable(
+		anonymize.Column{Name: "age", Role: anonymize.RoleQuasiIdentifier},
+		anonymize.Column{Name: "city", Role: anonymize.RoleQuasiIdentifier},
+		anonymize.Column{Name: "weight", Role: anonymize.RoleSensitive},
+	)
+	rows := 2 + rng.Intn(maxRows-1)
+	for i := 0; i < rows; i++ {
+		lo := float64(20 + 10*rng.Intn(5))
+		t.MustAddRow(
+			anonymize.Interval(lo, lo+10),
+			anonymize.Cat(cities[rng.Intn(len(cities))]),
+			anonymize.Num(float64(45+rng.Intn(60))),
+		)
+	}
+	return t
+}
+
+// randomProgression draws a random field-set progression, including
+// duplicate spellings of the same canonical scenario (shuffled order, target
+// field mixed in), which the evaluator's cache must canonicalise away.
+func randomProgression(rng *rand.Rand) [][]string {
+	base := [][]string{nil, {"age"}, {"city"}, {"age", "city"}}
+	progression := make([][]string, 0, 6)
+	for _, fields := range base {
+		progression = append(progression, fields)
+		if len(fields) > 0 && rng.Intn(2) == 0 {
+			shuffled := append([]string(nil), fields...)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			progression = append(progression, append(shuffled, "weight"))
+		}
+	}
+	return progression
+}
+
+// TestPropEvaluateProgressionWorkerIndependence: the pseudonymisation-risk
+// progression over a random table is identical for any worker count and for
+// a shared pre-built class index.
+func TestPropEvaluateProgressionWorkerIndependence(t *testing.T) {
+	proptest.Run(t, func(seed int64, rng *rand.Rand) error {
+		table := randomWeightTable(rng, 64)
+		policy := pseudorisk.Policy{TargetField: "weight", Closeness: 5, Confidence: 0.5 + rng.Float64()*0.5}
+		progression := randomProgression(rng)
+
+		sequential, err := pseudorisk.NewEvaluatorWithOptions(table, policy,
+			pseudorisk.EvaluatorOptions{Workers: 1})
+		if err != nil {
+			return err
+		}
+		want, err := sequential.EvaluateProgression(progression)
+		if err != nil {
+			return err
+		}
+
+		for _, workers := range []int{2, 8} {
+			e, err := pseudorisk.NewEvaluatorWithOptions(table, policy,
+				pseudorisk.EvaluatorOptions{Workers: workers})
+			if err != nil {
+				return err
+			}
+			got, err := e.EvaluateProgression(progression)
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: progression with %d workers diverges from sequential", seed, workers)
+			}
+		}
+
+		shared, err := pseudorisk.NewEvaluatorWithOptions(table, policy,
+			pseudorisk.EvaluatorOptions{Workers: 4, Index: anonymize.NewClassIndex(table, 2)})
+		if err != nil {
+			return err
+		}
+		got, err := shared.EvaluateProgression(progression)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: progression with a shared class index diverges from sequential", seed)
+		}
+		return nil
+	})
+}
+
+// TestPropViolationsBoundedByRecords: every scenario's violation count lies
+// in [0, rows], and equivalent spellings of the same visible-field set
+// produce identical results.
+func TestPropViolationsBoundedByRecords(t *testing.T) {
+	proptest.Run(t, func(seed int64, rng *rand.Rand) error {
+		table := randomWeightTable(rng, 64)
+		policy := pseudorisk.Policy{TargetField: "weight", Closeness: 5, Confidence: 0.9}
+		e, err := pseudorisk.NewEvaluator(table, policy)
+		if err != nil {
+			return err
+		}
+		canonical, err := e.Evaluate([]string{"age", "city"})
+		if err != nil {
+			return err
+		}
+		if canonical.Violations < 0 || canonical.Violations > table.NumRows() {
+			t.Fatalf("seed %d: %d violations outside [0, %d]", seed, canonical.Violations, table.NumRows())
+		}
+		respelled, err := e.Evaluate([]string{"city", "weight", "age"})
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(canonical, respelled) {
+			t.Fatalf("seed %d: respelled scenario diverges:\n%v\nvs\n%v",
+				seed, canonical, respelled)
+		}
+		return nil
+	})
+}

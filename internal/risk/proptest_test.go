@@ -1,0 +1,118 @@
+package risk_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"privascope/internal/proptest"
+	"privascope/internal/proptest/scenario"
+	"privascope/internal/risk"
+)
+
+// findingSummary reduces an assessment to its set of distinct disclosure
+// events — (actor, datastore, driving field, risk level) — the
+// representation-independent content minimisation must preserve: the
+// quotient collapses repeated occurrences of the same event across merged
+// states, so finding multiplicity is not preserved, but the event set and
+// the per-event maximum risk are.
+func findingSummary(a *risk.Assessment) []string {
+	set := make(map[string]bool, len(a.Findings))
+	for _, f := range a.Findings {
+		set[fmt.Sprintf("%s|%s|%s|%s", f.Actor, f.Datastore, f.DrivingField, f.Risk)] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPropAnalyzeIsDeterministic: assessing the same scenario twice yields
+// deeply equal assessments — findings, ordering, rendered reports and all.
+func TestPropAnalyzeIsDeterministic(t *testing.T) {
+	an := risk.MustAnalyzer(risk.Config{})
+	proptest.Run(t, func(seed int64, rng *rand.Rand) error {
+		s := scenario.Draw(seed)
+		p, err := s.Generate()
+		if err != nil {
+			return err
+		}
+		for _, profile := range s.Profiles {
+			first, err := an.Analyze(p, profile)
+			if err != nil {
+				return err
+			}
+			again, err := an.Analyze(p, profile)
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(first, again) {
+				t.Fatalf("seed %d: two analyses of profile %s differ", seed, profile.ID)
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropMinimizationPreservesAssessments is the metamorphic headline
+// property: assessing the payload-respecting quotient (core.Minimized) finds
+// exactly the same disclosure events at the same risk levels as assessing
+// the original model, for every profile of the scenario's population.
+func TestPropMinimizationPreservesAssessments(t *testing.T) {
+	an := risk.MustAnalyzer(risk.Config{})
+	proptest.Run(t, func(seed int64, rng *rand.Rand) error {
+		s := scenario.Draw(seed)
+		p, err := s.Generate()
+		if err != nil {
+			return err
+		}
+		q, _ := p.Minimized()
+		for _, profile := range s.Profiles {
+			orig, err := an.Analyze(p, profile)
+			if err != nil {
+				return err
+			}
+			min, err := an.Analyze(q, profile)
+			if err != nil {
+				return err
+			}
+			if orig.OverallRisk != min.OverallRisk {
+				t.Fatalf("seed %d: profile %s: overall risk %s on original, %s on quotient",
+					seed, profile.ID, orig.OverallRisk, min.OverallRisk)
+			}
+			so, sm := findingSummary(orig), findingSummary(min)
+			if !reflect.DeepEqual(so, sm) {
+				t.Fatalf("seed %d: profile %s: disclosure events differ\noriginal: %v\nquotient: %v",
+					seed, profile.ID, so, sm)
+			}
+		}
+		return nil
+	})
+}
+
+// TestPropCompareOfIdenticalAssessmentsIsNeutral: diffing an assessment
+// against itself reports every event unchanged.
+func TestPropCompareOfIdenticalAssessmentsIsNeutral(t *testing.T) {
+	an := risk.MustAnalyzer(risk.Config{})
+	proptest.Run(t, func(seed int64, rng *rand.Rand) error {
+		s := scenario.Draw(seed)
+		p, err := s.Generate()
+		if err != nil {
+			return err
+		}
+		a, err := an.Analyze(p, s.Profiles[0])
+		if err != nil {
+			return err
+		}
+		for _, c := range risk.Compare(a, a) {
+			if c.Before != c.After {
+				t.Fatalf("seed %d: self-comparison reports a change: %s", seed, c)
+			}
+		}
+		return nil
+	})
+}

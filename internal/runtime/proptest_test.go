@@ -1,0 +1,175 @@
+package runtime_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"privascope/internal/core"
+	"privascope/internal/lts"
+	"privascope/internal/proptest"
+	"privascope/internal/proptest/scenario"
+	"privascope/internal/runtime"
+	"privascope/internal/service"
+)
+
+// randomEventStream draws a per-user event stream from the scenario's model:
+// mostly random walks along the LTS (events that match transitions), mixed
+// with unmodelled operations and denied operations, interleaved across
+// users round-robin so every shard assignment sees the same per-user order.
+func randomEventStream(rng *rand.Rand, p *core.PrivacyLTS, users []string, perUser int) []service.Event {
+	streams := make([][]service.Event, len(users))
+	for u, id := range users {
+		cursor := p.InitialState()
+		for len(streams[u]) < perUser {
+			outs := p.Graph.Outgoing(cursor)
+			switch {
+			case len(outs) > 0 && rng.Float64() < 0.8:
+				tr := outs[rng.Intn(len(outs))]
+				label := core.LabelOf(tr)
+				streams[u] = append(streams[u], service.Event{
+					Actor: label.Actor, Action: label.Action, Datastore: label.Datastore,
+					Service: label.Service, Purpose: label.Purpose,
+					UserID: id, Fields: label.FieldSet(),
+				})
+				cursor = tr.To
+			default:
+				// Noise: an operation the model does not declare, sometimes
+				// denied by the policy before it took effect.
+				actor := p.Vocab.Actors()[rng.Intn(len(p.Vocab.Actors()))]
+				field := p.Vocab.Fields()[rng.Intn(len(p.Vocab.Fields()))]
+				store := ""
+				if n := len(p.Model.Datastores); n > 0 {
+					store = p.Model.Datastores[rng.Intn(n)].ID
+				}
+				streams[u] = append(streams[u], service.Event{
+					Actor: actor, Action: core.ActionRead, Datastore: store,
+					UserID: id, Fields: []string{field}, Denied: rng.Intn(4) == 0,
+				})
+			}
+		}
+	}
+	var out []service.Event
+	for i := 0; i < perUser; i++ {
+		for u := range users {
+			out = append(out, streams[u][i])
+		}
+	}
+	return out
+}
+
+// comparableAlert is an Alert minus its unexported cross-shard sequence
+// number, which legitimately differs between shard layouts.
+type comparableAlert struct {
+	Kind    runtime.AlertKind
+	UserID  string
+	Event   service.Event
+	Risk    interface{}
+	Finding interface{}
+	Message string
+}
+
+func stripAlert(a runtime.Alert) comparableAlert {
+	return comparableAlert{Kind: a.Kind, UserID: a.UserID, Event: a.Event,
+		Risk: a.Risk, Finding: a.Finding, Message: a.Message}
+}
+
+func stripAlerts(alerts []runtime.Alert) []comparableAlert {
+	out := make([]comparableAlert, len(alerts))
+	for i, a := range alerts {
+		out[i] = stripAlert(a)
+	}
+	return out
+}
+
+// comparableObservation is an Observation with its alerts stripped the same
+// way.
+type comparableObservation struct {
+	Matched    bool
+	From, To   lts.StateID
+	Transition lts.Transition
+	Alerts     []comparableAlert
+}
+
+func stripObservation(o runtime.Observation) comparableObservation {
+	return comparableObservation{Matched: o.Matched, From: o.From, To: o.To,
+		Transition: o.Transition, Alerts: stripAlerts(o.Alerts)}
+}
+
+// TestPropMonitorShardCountIndependence generalises the fixed-model shard
+// determinism test to random scenarios and the batch entry point: feeding
+// one random event stream through ObserveBatchContext must yield, for every
+// user, the same observation sequence, the same alerts and the same final
+// cursor whether the monitor runs 1, 2 or 8 shards.
+func TestPropMonitorShardCountIndependence(t *testing.T) {
+	proptest.Run(t, func(seed int64, rng *rand.Rand) error {
+		s := scenario.Draw(seed)
+		p, err := s.Generate()
+		if err != nil {
+			return err
+		}
+		users := make([]string, len(s.Profiles))
+		for i, profile := range s.Profiles {
+			users[i] = profile.ID
+		}
+		// At least observeBatchThreshold events, so multi-shard monitors
+		// take the parallel fan-out path.
+		perUser := 1 + (48+len(users)-1)/len(users)
+		stream := randomEventStream(rng, p, users, perUser)
+
+		type result struct {
+			perUserObs    map[string][]comparableObservation
+			perUserAlerts map[string][]comparableAlert
+			cursors       map[string]lts.StateID
+		}
+		runWith := func(shards int) result {
+			monitor, err := runtime.NewMonitor(p, runtime.Config{Shards: shards})
+			if err != nil {
+				t.Fatalf("seed %d: NewMonitor(shards=%d): %v", seed, shards, err)
+			}
+			for _, profile := range s.Profiles {
+				if err := monitor.RegisterUser(profile); err != nil {
+					t.Fatalf("seed %d: RegisterUser: %v", seed, err)
+				}
+			}
+			obs, err := monitor.ObserveBatch(stream)
+			if err != nil {
+				t.Fatalf("seed %d: ObserveBatch(shards=%d): %v", seed, shards, err)
+			}
+			res := result{
+				perUserObs:    make(map[string][]comparableObservation),
+				perUserAlerts: make(map[string][]comparableAlert),
+				cursors:       make(map[string]lts.StateID),
+			}
+			for i, o := range obs {
+				id := stream[i].UserID
+				res.perUserObs[id] = append(res.perUserObs[id], stripObservation(o))
+			}
+			for _, id := range users {
+				res.perUserAlerts[id] = stripAlerts(monitor.AlertsFor(id))
+				cursor, ok := monitor.CurrentState(id)
+				if !ok {
+					t.Fatalf("seed %d: user %s has no cursor", seed, id)
+				}
+				res.cursors[id] = cursor
+			}
+			return res
+		}
+
+		want := runWith(1)
+		for _, shards := range []int{2, 8} {
+			got := runWith(shards)
+			if !reflect.DeepEqual(got.cursors, want.cursors) {
+				t.Fatalf("seed %d: cursors with %d shards differ from 1 shard:\n%v\nvs\n%v",
+					seed, shards, got.cursors, want.cursors)
+			}
+			if !reflect.DeepEqual(got.perUserAlerts, want.perUserAlerts) {
+				t.Fatalf("seed %d: per-user alerts with %d shards differ from 1 shard", seed, shards)
+			}
+			if !reflect.DeepEqual(got.perUserObs, want.perUserObs) {
+				t.Fatalf("seed %d: per-user observations with %d shards differ from 1 shard", seed, shards)
+			}
+		}
+		return nil
+	})
+}
