@@ -11,7 +11,7 @@ BENCH ?= .
 BENCHTIME ?= 2s
 # The benchmarks CI smokes on every push: the headline number of each
 # subsystem plus the compiled-vs-reference pairs this PR introduced.
-SMOKE_BENCH = LTSGeneration|MonitorThroughput|ValueRiskPipeline|EngineAssessCached|AnalyzeCompiled|AnalyzeReference|MinimizeCompiled|MinimizeReference
+SMOKE_BENCH = LTSGeneration|MonitorThroughput|ValueRiskPipeline|EngineAssessCached|AnalyzeCompiled|AnalyzeReference|MinimizeCompiled|MinimizeReference|ModelStoreLoad
 # BASELINE is the perf-gate reference. It must be a like-for-like snapshot:
 # per-op numbers from a 1-iteration smoke run include un-amortised setup, so
 # they can only be compared against another 1-iteration run — never against
@@ -30,11 +30,11 @@ THRESHOLD_PCT ?= 25
 # -proptest.* flags, so soak runs must enumerate them instead of using ./...
 PROP_PACKAGES = . ./internal/proptest ./internal/proptest/scenario ./internal/synth \
 	./internal/core ./internal/lts ./internal/risk ./internal/anonymize \
-	./internal/pseudorisk ./internal/runtime
+	./internal/pseudorisk ./internal/runtime ./internal/modelstore
 ROUNDS ?= 64
 FUZZTIME ?= 30s
 
-.PHONY: build test vet bench bench-smoke bench-compare test-props fuzz
+.PHONY: build test vet bench bench-smoke bench-compare test-props fuzz cache-clean
 
 build:
 	$(GO) build ./...
@@ -88,3 +88,10 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/anonymize
 	$(GO) test -run='^$$' -fuzz=FuzzModelUnmarshal -fuzztime=$(FUZZTIME) ./internal/dataflow
 	$(GO) test -run='^$$' -fuzz=FuzzPolicyConstruction -fuzztime=$(FUZZTIME) ./internal/accesscontrol
+	$(GO) test -run='^$$' -fuzz=FuzzStoreDecode -fuzztime=$(FUZZTIME) ./internal/modelstore
+
+# cache-clean removes local persistent model-cache directories (the -model-cache
+# registries the CLIs and examples write next to the repo).
+cache-clean:
+	rm -rf .model-cache
+	find . -name '*.psm' -not -path './.git/*' -delete

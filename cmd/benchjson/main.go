@@ -86,9 +86,22 @@ func main() {
 
 // parse scans go-test output, tracking `pkg:` context lines and collecting
 // `Benchmark...` result lines.
+//
+// go test appends "-N" (GOMAXPROCS) to every benchmark name of a run — but
+// only when N != 1, and N is the same for the whole run. A name may also
+// legitimately end in "-<digits>" from a subtest such as "/workers-16", so
+// the suffix cannot be judged one line at a time: parse strips a trailing
+// "-<digits>" only when every benchmark in the input carries the same one.
+// At GOMAXPROCS=1, where go test appends nothing, subtest names keep their
+// digits instead of being corrupted ("BenchmarkX/workers-16" used to become
+// "BenchmarkX/workers", colliding keys in the compare gate).
 func parse(sc *bufio.Scanner) (map[string]entry, error) {
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	results := make(map[string]entry)
+	type row struct {
+		pkg, name string
+		e         entry
+	}
+	var rows []row
 	pkg := ""
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -100,19 +113,13 @@ func parse(sc *bufio.Scanner) (map[string]entry, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		// A result line is "<name>-N  <iterations>  <value> <unit> ...".
+		// A result line is "<name>[-N]  <iterations>  <value> <unit> ...".
 		if len(fields) < 4 || len(fields)%2 != 0 {
 			continue
 		}
 		iterations, err := strconv.Atoi(fields[1])
 		if err != nil {
 			continue
-		}
-		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
 		}
 		e := entry{Iterations: iterations, Metrics: make(map[string]float64)}
 		for i := 2; i+1 < len(fields); i += 2 {
@@ -122,13 +129,47 @@ func parse(sc *bufio.Scanner) (map[string]entry, error) {
 			}
 			e.Metrics[fields[i+1]] = value
 		}
-		key := name
-		if pkg != "" {
-			key = pkg + "." + name
-		}
-		results[key] = e
+		rows = append(rows, row{pkg: pkg, name: fields[0], e: e})
 	}
-	return results, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	procs := ""
+	for i, r := range rows {
+		s := procsSuffix(r.name)
+		if i == 0 {
+			procs = s
+		} else if s != procs {
+			procs = ""
+			break
+		}
+	}
+	results := make(map[string]entry, len(rows))
+	for _, r := range rows {
+		name := strings.TrimSuffix(r.name, procs)
+		key := name
+		if r.pkg != "" {
+			key = r.pkg + "." + name
+		}
+		results[key] = r.e
+	}
+	return results, nil
+}
+
+// procsSuffix returns the trailing "-<digits>" of a benchmark name (the form
+// of go test's GOMAXPROCS suffix), or "" when the name has none.
+func procsSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 || i == len(name)-1 {
+		return ""
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return ""
+		}
+	}
+	return name[i:]
 }
 
 // emit writes the results as indented JSON (encoding/json renders map keys
@@ -229,11 +270,19 @@ func compare(w io.Writer, oldResults, newResults map[string]entry, specs []metri
 			if !okOld || !okNew {
 				continue
 			}
+			if oldValue == 0 && newValue != 0 {
+				// Growth from a zero baseline has no meaningful percentage
+				// (it used to be pinned to +100%, slipping past any threshold
+				// of 100% or more — including the default ns/op gate). It
+				// always fails.
+				regressed = true
+				fmt.Fprintf(w, "FAIL  %s %s: %.4g -> %.4g (zero baseline, any growth gates)\n",
+					name, spec.name, oldValue, newValue)
+				continue
+			}
 			deltaPct := 0.0
 			if oldValue != 0 {
 				deltaPct = (newValue - oldValue) / oldValue * 100
-			} else if newValue != 0 {
-				deltaPct = 100
 			}
 			status := "ok  "
 			if deltaPct > spec.thresholdPct {

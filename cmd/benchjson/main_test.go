@@ -44,6 +44,47 @@ ok  	privascope	1.0s
 	}
 }
 
+// TestParseKeepsSubtestSuffixAtProcsOne is the regression test for the
+// GOMAXPROCS=1 corruption: without a uniform procs suffix on every line, a
+// subtest name that happens to end in digits ("/workers-16") must survive
+// intact instead of being truncated to "/workers".
+func TestParseKeepsSubtestSuffixAtProcsOne(t *testing.T) {
+	input := `pkg: privascope
+BenchmarkMonitorThroughput/workers-16  100  500000 ns/op  1234 B/op  56 allocs/op
+BenchmarkEngineAssessCached  200  250000 ns/op  789 B/op  12 allocs/op
+`
+	results, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := results["privascope.BenchmarkMonitorThroughput/workers-16"]; !ok {
+		t.Fatalf("GOMAXPROCS=1 subtest name corrupted: %v", results)
+	}
+	if _, ok := results["privascope.BenchmarkEngineAssessCached"]; !ok {
+		t.Fatalf("plain benchmark name lost: %v", results)
+	}
+}
+
+// TestParseStripsUniformProcsSuffix pins the complementary behaviour: when
+// every line of a run carries the same "-N" (GOMAXPROCS != 1), it is stripped
+// even from subtests whose own names end in digits.
+func TestParseStripsUniformProcsSuffix(t *testing.T) {
+	input := `pkg: privascope
+BenchmarkMonitorThroughput/workers-16-8  100  500000 ns/op  1234 B/op  56 allocs/op
+BenchmarkEngineAssessCached-8  200  250000 ns/op  789 B/op  12 allocs/op
+`
+	results, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := results["privascope.BenchmarkMonitorThroughput/workers-16"]; !ok {
+		t.Fatalf("uniform -8 suffix not stripped from subtest: %v", results)
+	}
+	if _, ok := results["privascope.BenchmarkEngineAssessCached"]; !ok {
+		t.Fatalf("uniform -8 suffix not stripped: %v", results)
+	}
+}
+
 func TestParseMetricSpecs(t *testing.T) {
 	specs, err := parseMetricSpecs("allocs/op,ns/op=300", 20)
 	if err != nil {
@@ -124,6 +165,31 @@ func TestCompareAllocRegressionGates(t *testing.T) {
 	var out strings.Builder
 	if !compare(&out, old, degraded, specs) {
 		t.Fatalf("a 50%% allocs/op regression passed the gate:\n%s", out.String())
+	}
+}
+
+// TestCompareZeroBaselineGates is the self-test for the zero-baseline fix,
+// structured like the injected-regression case: a metric growing from 0 used
+// to be reported as +100% and pass any threshold of 100% or more (including
+// the default ns/op=300 gate). It must now fail regardless of threshold.
+func TestCompareZeroBaselineGates(t *testing.T) {
+	old := map[string]entry{"pkg.BenchmarkX": bench(1000, 0)}
+	grown := map[string]entry{"pkg.BenchmarkX": bench(1000, 7)}
+	loose := []metricSpec{{name: "ns/op", thresholdPct: 300}, {name: "allocs/op", thresholdPct: 300}}
+
+	var out strings.Builder
+	if !compare(&out, old, grown, loose) {
+		t.Fatalf("growth from a zero baseline passed a 300%% threshold:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL  pkg.BenchmarkX allocs/op") ||
+		!strings.Contains(out.String(), "zero baseline") {
+		t.Fatalf("report does not flag the zero-baseline growth explicitly:\n%s", out.String())
+	}
+
+	// A metric staying at zero is not growth and must not gate.
+	out.Reset()
+	if compare(&out, old, map[string]entry{"pkg.BenchmarkX": bench(1000, 0)}, loose) {
+		t.Fatalf("a zero -> zero metric tripped the gate:\n%s", out.String())
 	}
 }
 

@@ -55,6 +55,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	ordering := fs.String("ordering", "sequential", "flow ordering: sequential or data-driven")
 	verbose := fs.Bool("verbose-states", false, "list state variables inside LTS nodes")
 	workers := fs.Int("workers", 0, "parallel exploration workers (0 = one per CPU); the output is identical for any count")
+	modelCache := fs.String("model-cache", "", "directory of the persistent compiled-model cache (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +71,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *ordering == "data-driven" {
 		opts.FlowOrdering = core.OrderDataDriven
 	}
+	// The engine caches compiled models by content fingerprint; with
+	// -model-cache it also persists them, so repeat conversions of an
+	// unchanged model skip LTS generation entirely.
+	engine, err := privascope.NewEngine(privascope.EngineOptions{Generate: opts, CacheDir: *modelCache})
+	if err != nil {
+		return err
+	}
 
 	switch *mode {
 	case "dataflow":
@@ -84,14 +92,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprint(out, model.DOT())
 		return nil
 	case "lts":
-		generated, err := privascope.GenerateWithOptionsContext(ctx, model, opts)
+		generated, err := engine.Model(ctx, model)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, generated.DOT(core.DOTOptions{Name: "privacy_lts", VerboseStates: *verbose}))
 		return nil
 	case "lts-json":
-		generated, err := privascope.GenerateWithOptionsContext(ctx, model, opts)
+		generated, err := engine.Model(ctx, model)
 		if err != nil {
 			return err
 		}
@@ -102,7 +110,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		_, err = out.Write(append(data, '\n'))
 		return err
 	case "stats":
-		generated, err := privascope.GenerateWithOptionsContext(ctx, model, opts)
+		generated, err := engine.Model(ctx, model)
 		if err != nil {
 			return err
 		}

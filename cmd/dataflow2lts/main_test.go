@@ -101,3 +101,33 @@ func TestRunWorkersDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestRunModelCache: with -model-cache, the first run persists the compiled
+// model and the second run (a fresh process in real use) loads it instead of
+// regenerating — and emits byte-identical output either way.
+func TestRunModelCache(t *testing.T) {
+	path := modelFixture(t)
+	cache := filepath.Join(t.TempDir(), "cache")
+	outputs := make([]string, 2)
+	for i := range outputs {
+		var out strings.Builder
+		if err := run(context.Background(), []string{"-model", path, "-mode", "lts-json", "-model-cache", cache}, &out); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		outputs[i] = out.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Error("cached run emitted different output")
+	}
+	entries, err := filepath.Glob(filepath.Join(cache, "*.psm"))
+	if err != nil || len(entries) != 1 {
+		t.Errorf("cache directory holds %d artifacts (err %v), want 1", len(entries), err)
+	}
+	var plain strings.Builder
+	if err := run(context.Background(), []string{"-model", path, "-mode", "lts-json"}, &plain); err != nil {
+		t.Fatalf("uncached run: %v", err)
+	}
+	if plain.String() != outputs[0] {
+		t.Error("cache-loaded output differs from the uncached run")
+	}
+}

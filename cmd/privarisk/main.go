@@ -18,6 +18,8 @@
 //	-json string       write the generated LTS to this JSON file
 //	-markdown          render the report as Markdown instead of plain text
 //	-ordering string   flow ordering: sequential (default) or data-driven
+//	-model-cache string directory of the persistent compiled-model cache;
+//	                   warm entries skip LTS generation entirely
 //
 // The examples/healthcare program produces the same analysis for the paper's
 // doctors'-surgery case study without needing input files.
@@ -64,6 +66,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	jsonPath := fs.String("json", "", "write the generated LTS to this JSON file")
 	markdown := fs.Bool("markdown", false, "render the report as Markdown")
 	ordering := fs.String("ordering", "sequential", "flow ordering: sequential or data-driven")
+	modelCache := fs.String("model-cache", "", "directory of the persistent compiled-model cache (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,7 +96,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// One Engine drives both the base and the mitigated analysis: models are
 	// cached by content fingerprint and the profile's risk analysis is shared
 	// per shape, so re-running with the same inputs never regenerates.
-	engine, err := privascope.NewEngine(privascope.EngineOptions{Generate: opts, Risk: risk.Config{}})
+	engine, err := privascope.NewEngine(privascope.EngineOptions{Generate: opts, Risk: risk.Config{}, CacheDir: *modelCache})
 	if err != nil {
 		return err
 	}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	privaserve -model model.json [-profile profile.json] [-duration 30s]
-//	           [-monitor-shards 16] [-events replay.json]
+//	           [-monitor-shards 16] [-events replay.json] [-model-cache dir]
 //
 // The server addresses are printed on startup; drive them with any HTTP
 // client (the X-Privascope-Actor header selects the acting actor). The
@@ -59,6 +59,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "parallel LTS-generation workers (0 = one per CPU)")
 	monitorShards := fs.Int("monitor-shards", 0, "monitor lock stripes for per-user state (0 = one per CPU)")
 	eventsPath := fs.String("events", "", "path to a JSON array of events to replay through the monitor at startup")
+	modelCache := fs.String("model-cache", "", "directory of the persistent compiled-model cache (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,7 +71,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
-	generated, err := privascope.GenerateWithOptionsContext(ctx, model, privascope.GenerateOptions{Workers: *workers})
+	// With -model-cache, a warm cache entry makes startup skip LTS generation
+	// and load the compiled model straight from disk.
+	engine, err := privascope.NewEngine(privascope.EngineOptions{
+		Generate: privascope.GenerateOptions{Workers: *workers},
+		CacheDir: *modelCache,
+	})
+	if err != nil {
+		return err
+	}
+	generated, err := engine.Model(ctx, model)
 	if err != nil {
 		return err
 	}

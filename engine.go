@@ -8,6 +8,7 @@ import (
 	"privascope/internal/core"
 	"privascope/internal/dataflow"
 	"privascope/internal/flight"
+	"privascope/internal/modelstore"
 	"privascope/internal/risk"
 )
 
@@ -21,6 +22,14 @@ type EngineOptions struct {
 	// Risk configures the engine's shared disclosure-risk analyzer; zero
 	// value for defaults.
 	Risk RiskConfig
+	// CacheDir, when non-empty, names a registry directory of persisted
+	// compiled models (created if needed) that backs the in-memory model
+	// cache as a second tier: a fingerprint miss first tries to load the
+	// compiled artifact from disk — skipping state-space generation entirely
+	// — and every generated model is written back atomically, so concurrent
+	// engines and future processes share it. Corrupt or stale artifacts are
+	// detected (checksummed, fingerprint-verified) and regenerated.
+	CacheDir string
 }
 
 // Engine is a long-lived, concurrency-safe analysis session: the
@@ -51,10 +60,13 @@ type Engine struct {
 	analyzer    *risk.Analyzer
 	assessments *risk.AssessmentCache
 	models      flight.Group[string, *core.PrivacyLTS]
+	store       *modelstore.Store
 	generations atomic.Int64
+	loads       atomic.Int64
 }
 
-// NewEngine builds an engine, validating the risk configuration up front.
+// NewEngine builds an engine, validating the risk configuration up front and
+// opening the persistent model registry when EngineOptions.CacheDir is set.
 func NewEngine(opts EngineOptions) (*Engine, error) {
 	analyzer, err := risk.NewAnalyzer(opts.Risk)
 	if err != nil {
@@ -64,7 +76,15 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{opts: opts, analyzer: analyzer, assessments: cache}, nil
+	e := &Engine{opts: opts, analyzer: analyzer, assessments: cache}
+	if opts.CacheDir != "" {
+		store, err := modelstore.Open(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		e.store = store
+	}
+	return e, nil
 }
 
 // MustEngine is like NewEngine but panics on error; for fixtures and
@@ -109,7 +129,21 @@ func (e *Engine) model(ctx context.Context, m *Model) (p *PrivacyModel, cacheabl
 		return p, false, err
 	}
 	p, err = e.models.Do(ctx, fp, func(ctx context.Context) (*core.PrivacyLTS, error) {
-		return e.generate(ctx, m)
+		if e.store != nil {
+			if loaded, err := e.store.Load(fp, m); err == nil {
+				e.loads.Add(1)
+				return loaded, nil
+			}
+			// Missing or invalid artifact: fall through and regenerate; the
+			// write below replaces it.
+		}
+		p, err := e.generate(ctx, m)
+		if err == nil && e.store != nil {
+			// Persisting is best-effort: a full registry disk must not fail
+			// the request, and the next cold start simply regenerates.
+			_ = e.store.Save(fp, p)
+		}
+		return p, err
 	})
 	return p, true, err
 }
@@ -202,6 +236,12 @@ func (e *Engine) Monitor(ctx context.Context, m *Model, cfg MonitorConfig) (*Mon
 // the instrumentation behind the generate-once guarantee: concurrent Assess
 // calls on one model must leave this at 1.
 func (e *Engine) Generations() int64 { return e.generations.Load() }
+
+// Loads returns how many privacy models the engine has loaded from the
+// persistent registry (EngineOptions.CacheDir) instead of generating: a warm
+// registry makes a cold-started engine report Generations() == 0 and
+// Loads() > 0. Always zero when no CacheDir was configured.
+func (e *Engine) Loads() int64 { return e.loads.Load() }
 
 // CachedModels returns the number of distinct model fingerprints currently
 // cached (in-flight generations included).

@@ -1,0 +1,122 @@
+package lts
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildRestoreFixture returns a small LTS with shared labels, a diamond shape
+// and a parallel edge, exercising every CSR corner.
+func buildRestoreFixture() *LTS {
+	l := New()
+	l.SetInitial("s0")
+	shared := StringLabel("shared")
+	l.AddTransition("s0", "s1", shared)
+	l.AddTransition("s0", "s2", StringLabel("b"))
+	l.AddTransition("s1", "s3", shared)
+	l.AddTransition("s2", "s3", StringLabel("c"))
+	l.AddTransition("s3", "s0", nil)
+	l.AddTransition("s0", "s1", StringLabel("parallel"))
+	return l
+}
+
+func TestRestoreCompiledRoundTrip(t *testing.T) {
+	orig := buildRestoreFixture()
+	parts := orig.Compiled().Parts()
+
+	restored, err := RestoreCompiled(parts)
+	if err != nil {
+		t.Fatalf("RestoreCompiled: %v", err)
+	}
+	l := RestoreLTS(restored)
+
+	if got, want := l.String(), orig.String(); got != want {
+		t.Fatalf("restored LTS renders differently:\n%s\nvs\n%s", got, want)
+	}
+	if !reflect.DeepEqual(l.Transitions(), orig.Transitions()) {
+		t.Fatalf("restored transitions differ")
+	}
+	if !reflect.DeepEqual(l.StateIDs(), orig.StateIDs()) {
+		t.Fatalf("restored state order differs")
+	}
+	gotStats, err := l.Stats()
+	if err != nil {
+		t.Fatalf("restored Stats: %v", err)
+	}
+	wantStats, _ := orig.Stats()
+	if gotStats != wantStats {
+		t.Fatalf("restored stats %+v, want %+v", gotStats, wantStats)
+	}
+	for _, id := range orig.StateIDs() {
+		if !reflect.DeepEqual(l.Outgoing(id), orig.Outgoing(id)) {
+			t.Fatalf("outgoing of %s differs", id)
+		}
+		if !reflect.DeepEqual(l.Incoming(id), orig.Incoming(id)) {
+			t.Fatalf("incoming of %s differs", id)
+		}
+	}
+	// The restored LTS must serve analyses without recompiling: its compiled
+	// pointer is the restored snapshot itself.
+	if l.Compiled() != restored {
+		t.Fatalf("restored LTS recompiled instead of adopting the restored view")
+	}
+	min, _ := orig.Minimize()
+	minRestored, _ := l.Minimize()
+	if got, want := minRestored.String(), min.String(); got != want {
+		t.Fatalf("minimized restored LTS differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestRestoreCompiledRejectsCorruptParts mutates each invariant in turn and
+// requires a clean error, never a panic.
+func TestRestoreCompiledRejectsCorruptParts(t *testing.T) {
+	fresh := func() CompiledParts {
+		// Re-derive parts from a fresh compile each time, deep-copying the
+		// slices a case mutates.
+		p := buildRestoreFixture().Compiled().Parts()
+		p.EdgeFrom = append([]int32(nil), p.EdgeFrom...)
+		p.EdgeTo = append([]int32(nil), p.EdgeTo...)
+		p.EdgeLabel = append([]int32(nil), p.EdgeLabel...)
+		p.OutOff = append([]int32(nil), p.OutOff...)
+		p.OutEdges = append([]int32(nil), p.OutEdges...)
+		p.InOff = append([]int32(nil), p.InOff...)
+		p.InEdges = append([]int32(nil), p.InEdges...)
+		p.States = append([]StateID(nil), p.States...)
+		return p
+	}
+	cases := map[string]func(*CompiledParts){
+		"edge array length":    func(p *CompiledParts) { p.EdgeFrom = p.EdgeFrom[:1] },
+		"label table length":   func(p *CompiledParts) { p.LabelStrs = p.LabelStrs[:1] },
+		"offset array length":  func(p *CompiledParts) { p.OutOff = p.OutOff[:2] },
+		"csr edges length":     func(p *CompiledParts) { p.OutEdges = p.OutEdges[:1] },
+		"initial out of range": func(p *CompiledParts) { p.Initial = 99 },
+		"duplicate state id":   func(p *CompiledParts) { p.States[1] = p.States[0] },
+		"endpoint range":       func(p *CompiledParts) { p.EdgeTo[0] = -7 },
+		"label range":          func(p *CompiledParts) { p.EdgeLabel[0] = 42 },
+		"offsets do not span":  func(p *CompiledParts) { p.OutOff[len(p.OutOff)-1]++ },
+		"offsets decrease":     func(p *CompiledParts) { p.OutOff[1] = p.OutOff[2] + 1 },
+		"csr edge range":       func(p *CompiledParts) { p.OutEdges[0] = 77 },
+		"csr wrong bucket": func(p *CompiledParts) {
+			p.InEdges[0], p.InEdges[len(p.InEdges)-1] = p.InEdges[len(p.InEdges)-1], p.InEdges[0]
+		},
+	}
+	for name, corrupt := range cases {
+		p := fresh()
+		corrupt(&p)
+		if _, err := RestoreCompiled(p); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		} else if !strings.Contains(err.Error(), "lts: restore") {
+			t.Errorf("%s: unexpected error %v", name, err)
+		}
+	}
+	// A duplicated CSR entry within one bucket must be caught by the
+	// ascending-order check.
+	p := fresh()
+	if len(p.OutEdges) >= 2 && p.OutOff[1] >= 2 {
+		p.OutEdges[1] = p.OutEdges[0]
+		if _, err := RestoreCompiled(p); err == nil {
+			t.Errorf("duplicated CSR entry accepted")
+		}
+	}
+}

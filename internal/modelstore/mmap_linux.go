@@ -1,0 +1,33 @@
+//go:build linux
+
+package modelstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the artifact privately (copy-on-write): decoded slices may
+// alias the mapping, yet no write through them can ever reach the file.
+// Returns ok=false on any failure so the caller falls back to reading.
+func mapFile(path string) ([]byte, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() <= 0 || st.Size() > int64(int(^uint(0)>>1)) {
+		return nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// unmapFile releases a mapping that failed to decode (a successfully decoded
+// artifact keeps its mapping for the life of the process, since the model
+// aliases it).
+func unmapFile(data []byte) { _ = syscall.Munmap(data) }

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package modelstore
+
+// mapFile is unavailable on this platform; Store.Load falls back to reading
+// the artifact into memory (still decoded without copying the flat
+// sections).
+func mapFile(path string) ([]byte, bool) { return nil, false }
+
+func unmapFile(data []byte) {}

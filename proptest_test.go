@@ -107,3 +107,40 @@ func TestPropAssessPopulationMatchesPerProfile(t *testing.T) {
 		return nil
 	})
 }
+
+// TestPropEngineWarmRegistryColdStart: an Engine cold-started over a warm
+// persistent model registry (EngineOptions.CacheDir) performs zero LTS
+// generations — every model comes from disk — and its assessment and
+// rendered report are byte-identical to the generated path.
+func TestPropEngineWarmRegistryColdStart(t *testing.T) {
+	dir := t.TempDir()
+	proptest.Run(t, func(seed int64, rng *rand.Rand) error {
+		s := scenario.Draw(seed)
+		ctx := context.Background()
+
+		writer := privascope.MustEngine(privascope.EngineOptions{CacheDir: dir})
+		baseline, err := writer.Assess(ctx, s.Model, s.Profiles[0])
+		if err != nil {
+			return err
+		}
+		if g, l := writer.Generations(), writer.Loads(); g != 1 || l != 0 {
+			t.Fatalf("seed %d: writer engine generated %d and loaded %d, want 1 and 0", seed, g, l)
+		}
+
+		cold := privascope.MustEngine(privascope.EngineOptions{CacheDir: dir})
+		loaded, err := cold.Assess(ctx, s.Model, s.Profiles[0])
+		if err != nil {
+			return err
+		}
+		if g, l := cold.Generations(), cold.Loads(); g != 0 || l != 1 {
+			t.Fatalf("seed %d: warm-registry cold start generated %d and loaded %d, want 0 and 1", seed, g, l)
+		}
+		if !reflect.DeepEqual(baseline.Assessment, loaded.Assessment) {
+			t.Fatalf("seed %d: assessment from the loaded model differs from the generated one", seed)
+		}
+		if got, want := loaded.Report.Render(), baseline.Report.Render(); got != want {
+			t.Fatalf("seed %d: report from the loaded model differs:\n%s\nvs\n%s", seed, got, want)
+		}
+		return nil
+	})
+}
