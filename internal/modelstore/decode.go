@@ -365,11 +365,19 @@ func parseStrings(sec []byte, count int) ([]string, error) {
 	if uint64(offs[count]) != uint64(len(blob)) {
 		return nil, corruptf("string blob has %d bytes, offsets claim %d", len(blob), offs[count])
 	}
-	strs := make([]string, count)
+	// Validate the whole offset array before materialising anything: pairwise
+	// monotonicity alone would slice with a spiked upper bound before reaching
+	// the entry where the sequence decreases again.
 	for i := 0; i < count; i++ {
 		if offs[i] > offs[i+1] {
 			return nil, corruptf("string offsets decrease at entry %d", i)
 		}
+		if uint64(offs[i+1]) > uint64(len(blob)) {
+			return nil, corruptf("string offset %d exceeds the %d-byte blob at entry %d", offs[i+1], len(blob), i)
+		}
+	}
+	strs := make([]string, count)
+	for i := 0; i < count; i++ {
 		strs[i] = string(blob[offs[i]:offs[i+1]])
 	}
 	if strs[0] != "" {
@@ -469,12 +477,20 @@ func parseStores(storeOff, recs []uint32, stateIDs []lts.StateID, ref func(uint3
 	if storeOff[0] != 0 || uint64(storeOff[n]) != uint64(len(recs)) {
 		return nil, corruptf("store offsets span [%d, %d], records have %d words", storeOff[0], storeOff[n], len(recs))
 	}
+	// Validate every window bound before touching the records: an intermediate
+	// offset spike would otherwise drive the record cursor past len(recs) before
+	// the pairwise decrease is reached.
+	for s := 0; s < n; s++ {
+		if storeOff[s] > storeOff[s+1] {
+			return nil, corruptf("store offsets decrease at state %d", s)
+		}
+		if uint64(storeOff[s+1]) > uint64(len(recs)) {
+			return nil, corruptf("store offset %d of state %d exceeds the %d record words", storeOff[s+1], s, len(recs))
+		}
+	}
 	stores := make(map[lts.StateID]map[string]schema.FieldSet, n)
 	for s := 0; s < n; s++ {
 		lo, hi := storeOff[s], storeOff[s+1]
-		if lo > hi {
-			return nil, corruptf("store offsets decrease at state %d", s)
-		}
 		if lo == hi {
 			continue
 		}
