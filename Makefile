@@ -11,7 +11,7 @@ BENCH ?= .
 BENCHTIME ?= 2s
 # The benchmarks CI smokes on every push: the headline number of each
 # subsystem plus the compiled-vs-reference pairs this PR introduced.
-SMOKE_BENCH = LTSGeneration|MonitorThroughput|ValueRiskPipeline|EngineAssessCached|AnalyzeCompiled|AnalyzeReference|MinimizeCompiled|MinimizeReference|ModelStoreLoad
+SMOKE_BENCH = LTSGeneration|MonitorThroughput|ValueRiskPipeline|EngineAssessCached|AnalyzeCompiled|AnalyzeReference|MinimizeCompiled|MinimizeReference|ModelStoreLoad|ClusterIngest
 # BASELINE is the perf-gate reference. It must be a like-for-like snapshot:
 # per-op numbers from a 1-iteration smoke run include un-amortised setup, so
 # they can only be compared against another 1-iteration run — never against
@@ -30,7 +30,7 @@ THRESHOLD_PCT ?= 25
 # -proptest.* flags, so soak runs must enumerate them instead of using ./...
 PROP_PACKAGES = . ./internal/proptest ./internal/proptest/scenario ./internal/synth \
 	./internal/core ./internal/lts ./internal/risk ./internal/anonymize \
-	./internal/pseudorisk ./internal/runtime ./internal/modelstore
+	./internal/pseudorisk ./internal/runtime ./internal/modelstore ./internal/cluster
 ROUNDS ?= 64
 FUZZTIME ?= 30s
 
@@ -89,6 +89,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzModelUnmarshal -fuzztime=$(FUZZTIME) ./internal/dataflow
 	$(GO) test -run='^$$' -fuzz=FuzzPolicyConstruction -fuzztime=$(FUZZTIME) ./internal/accesscontrol
 	$(GO) test -run='^$$' -fuzz=FuzzStoreDecode -fuzztime=$(FUZZTIME) ./internal/modelstore
+	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) ./internal/cluster
 
 # cache-clean removes local persistent model-cache directories (the -model-cache
 # registries the CLIs and examples write next to the repo).

@@ -17,15 +17,19 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 
 	"privascope"
 	"privascope/internal/anonymize"
 	"privascope/internal/casestudy"
+	"privascope/internal/cluster"
 	"privascope/internal/core"
 	"privascope/internal/pseudorisk"
 	"privascope/internal/risk"
+	"privascope/internal/service"
 	"privascope/internal/synth"
 )
 
@@ -550,6 +554,155 @@ func BenchmarkValueRiskPipeline(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(rows*len(progression)*b.N)/b.Elapsed().Seconds(), "rows/sec")
+		})
+	}
+}
+
+// BenchmarkClusterIngest measures the cluster ingest plane end to end on the
+// server side: pre-encoded binary event frames POSTed into each node's
+// /ingest handler, decoded, admitted through the bounded queue and applied
+// to the node's monitor by its drain worker. Users are partitioned over the
+// consistent-hash ring exactly as the Router would route them; each
+// generation replays every user's consented medical-service run once, with
+// the untimed gaps re-registering users to reset their cursors (the privacy
+// LTS is a DAG, so a finished script cannot be replayed without a reset —
+// management-plane work a live fleet does not do per event). The aggregate
+// events/sec across nodes is the paper-scale throughput claim; client-side
+// frame encoding is measured separately by the codec benchmarks.
+func BenchmarkClusterIngest(b *testing.B) {
+	p, err := privascope.Generate(casestudy.Surgery())
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseProfile := casestudy.PatientProfile()
+	const users = 4096
+	const frameEvents = 4096
+	for _, nodes := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			names := make([]string, nodes)
+			for i := range names {
+				names[i] = fmt.Sprintf("node%d", i)
+			}
+			ring, err := cluster.NewRing(names, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodeByName := make(map[string]*cluster.Node, nodes)
+			var fleet []*cluster.Node
+			for _, name := range names {
+				// One monitor shard per node: the fleet's parallelism is the
+				// node fan-out itself.
+				n, err := cluster.NewNode(p, cluster.NodeConfig{
+					Name:    name,
+					Monitor: privascope.MonitorConfig{Shards: 1},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer n.Close()
+				nodeByName[name] = n
+				fleet = append(fleet, n)
+			}
+
+			// Partition users over the ring, register them at their owner,
+			// and pre-encode each node's generation as interleaved frames.
+			profiles := make(map[string][]string, nodes) // node -> user IDs
+			for u := 0; u < users; u++ {
+				id := fmt.Sprintf("user-%d", u)
+				owner := ring.Owner(id)
+				profile := baseProfile
+				profile.ID = id
+				if err := nodeByName[owner].Monitor().RegisterUser(profile); err != nil {
+					b.Fatal(err)
+				}
+				profiles[owner] = append(profiles[owner], id)
+			}
+			perNodeFrames := make(map[string][][]byte, nodes)
+			eventsPerGen := 0
+			for name, ids := range profiles {
+				scripts := make([][]service.Event, len(ids))
+				for i, id := range ids {
+					scripts[i] = casestudy.MedicalServiceEvents(id)
+				}
+				// Round-robin across the node's users, like live traffic.
+				var stream []service.Event
+				for pos := 0; ; pos++ {
+					appended := false
+					for _, script := range scripts {
+						if pos < len(script) {
+							stream = append(stream, script[pos])
+							appended = true
+						}
+					}
+					if !appended {
+						break
+					}
+				}
+				eventsPerGen += len(stream)
+				for start := 0; start < len(stream); start += frameEvents {
+					end := min(start+frameEvents, len(stream))
+					frame, err := cluster.EncodeFrame(stream[start:end])
+					if err != nil {
+						b.Fatal(err)
+					}
+					perNodeFrames[name] = append(perNodeFrames[name], frame)
+				}
+			}
+
+			ctx := context.Background()
+			runGeneration := func() {
+				for name, frames := range perNodeFrames {
+					node := nodeByName[name]
+					for _, body := range frames {
+						req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(body))
+						rec := httptest.NewRecorder()
+						node.Handler().ServeHTTP(rec, req)
+						if rec.Code != http.StatusAccepted {
+							b.Fatalf("ingest: status %d: %s", rec.Code, rec.Body.String())
+						}
+					}
+				}
+				for _, n := range fleet {
+					if err := n.Quiesce(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			resetCursors := func() {
+				for name, ids := range profiles {
+					m := nodeByName[name].Monitor()
+					for _, id := range ids {
+						profile := baseProfile
+						profile.ID = id
+						if err := m.RegisterUser(profile); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			total := 0
+			for total < b.N {
+				runGeneration()
+				total += eventsPerGen
+				b.StopTimer()
+				resetCursors()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			var stats privascope.MonitorIngestStats
+			for _, n := range fleet {
+				stats.Merge(n.Stats().Ingest)
+			}
+			if stats.Events != total || stats.Matched != total {
+				b.Fatalf("fleet ingested %d events, matched %d; want %d of each (stats %+v)",
+					stats.Events, stats.Matched, total, stats)
+			}
+			if seconds := b.Elapsed().Seconds(); seconds > 0 {
+				b.ReportMetric(float64(total)/seconds, "events/sec")
+			}
 		})
 	}
 }

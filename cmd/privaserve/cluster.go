@@ -1,0 +1,164 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"privascope"
+	"privascope/internal/cluster"
+	"privascope/internal/runtime"
+)
+
+// runClusterMode is privaserve with -cluster N: instead of one in-process
+// monitor, it spawns N ingest nodes (each with its own monitor and HTTP
+// server), routes all traffic through the consistent-hash Router, and merges
+// the fleet's alerts. The datastore servers and the live event stream work
+// exactly as in single-monitor mode; only the observation plane is
+// distributed.
+func runClusterMode(ctx context.Context, nodes int, generated *privascope.PrivacyModel,
+	model *privascope.Model, profile privascope.UserProfile, shards int,
+	eventsPath string, duration time.Duration, out io.Writer) error {
+
+	c, err := cluster.StartLocal(generated, nodes,
+		cluster.NodeConfig{Monitor: privascope.MonitorConfig{Shards: shards}},
+		cluster.RouterConfig{})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = c.Stop(ctx)
+	}()
+	fmt.Fprintf(out, "cluster: %d ingest nodes\n", nodes)
+	for i, srv := range c.Servers {
+		fmt.Fprintf(out, "  %-8s %s\n", c.Nodes[i].Name(), srv.URL())
+	}
+	if err := c.Router.Register(ctx, []privascope.UserProfile{profile}); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "monitoring user %q on node %q\n", profile.ID, c.Router.Ring().Owner(profile.ID))
+
+	if eventsPath != "" {
+		if err := replayEventsCluster(ctx, eventsPath, c, out); err != nil {
+			return err
+		}
+	}
+
+	datastores, err := privascope.StartCluster(model)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = datastores.Stop(ctx)
+	}()
+	stores := datastores.Datastores()
+	sort.Strings(stores)
+	fmt.Fprintf(out, "privaserve: serving %d datastores for model %q\n", len(stores), model.Name)
+	for _, id := range stores {
+		url, err := datastores.URL(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-20s %s\n", id, url)
+	}
+
+	events, cancel := datastores.Log().Subscribe(256)
+	defer cancel()
+	done := make(chan struct{})
+	defer close(done)
+	batches := make(chan []privascope.Event)
+	go func() {
+		defer close(batches)
+		for {
+			batch := privascope.NextEventBatch(events, 256)
+			if batch == nil {
+				return
+			}
+			select {
+			case batches <- batch:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	var deadline <-chan time.Time
+	if duration > 0 {
+		timer := time.NewTimer(duration)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	finish := func() error {
+		quiesce, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := c.Quiesce(quiesce); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "privaserve: duration elapsed; %d alerts recorded\n", len(c.Alerts()))
+		return nil
+	}
+	for {
+		select {
+		case batch, ok := <-batches:
+			if !ok {
+				return nil
+			}
+			// Unlike single-monitor mode, the whole stream is routed: the
+			// ring partitions every user, registered or not (unregistered
+			// users are counted at their node, not observed).
+			if err := c.Router.SendBatch(ctx, batch); err != nil {
+				fmt.Fprintf(out, "batch not routed: %v\n", err)
+			}
+		case <-ctx.Done():
+			fmt.Fprintln(out, "privaserve: interrupted")
+			return nil
+		case <-deadline:
+			return finish()
+		}
+	}
+}
+
+// replayEventsCluster streams a recorded JSON event trace through the
+// Router, waits for the fleet to quiesce, and prints the merged alerts in a
+// canonical (sorted) order — the cluster-mode analogue of replayEvents. No
+// events are skipped: the ring owns every user ID.
+func replayEventsCluster(ctx context.Context, path string, c *cluster.Local, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading events: %w", err)
+	}
+	var events []privascope.Event
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("parsing events: %w", err)
+	}
+	if err := c.Router.SendBatch(ctx, events); err != nil {
+		return fmt.Errorf("routing events: %w", err)
+	}
+	if err := c.Quiesce(ctx); err != nil {
+		return fmt.Errorf("quiescing cluster: %w", err)
+	}
+	var stats runtime.IngestStats
+	for _, n := range c.Nodes {
+		stats.Merge(n.Stats().Ingest)
+	}
+	alerts := c.Alerts()
+	lines := make([]string, len(alerts))
+	for i, alert := range alerts {
+		lines[i] = fmt.Sprintf("ALERT [%s]: %s", alert.Kind, alert.Message)
+	}
+	sort.Strings(lines)
+	for _, line := range lines {
+		fmt.Fprintln(out, line)
+	}
+	fmt.Fprintf(out, "cluster replay complete: %d events (%d unregistered), %d alerts\n",
+		stats.Events, stats.Unregistered, len(alerts))
+	return nil
+}

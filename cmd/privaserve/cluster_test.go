@@ -1,0 +1,70 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// clusterAlertSection extracts the sorted ALERT lines and the replay summary
+// of cluster-mode output.
+func clusterAlertSection(output string) string {
+	var lines []string
+	for _, line := range strings.Split(output, "\n") {
+		if strings.HasPrefix(line, "ALERT") || strings.HasPrefix(line, "cluster replay complete") {
+			lines = append(lines, line)
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// goldenClusterReplay is the expected alert block for the healthcare fixture
+// in cluster mode: the same three alerts as the single-monitor golden
+// transcript (sorted, because the cross-node merge has no global order),
+// with the unregistered user's event counted instead of skipped.
+const goldenClusterReplay = `ALERT [denied-operation]: access-control denied read by "nurse" on ehr.[diagnosis]
+ALERT [risk]: medium-risk disclosure event for user "patient-1": non-allowed actor "administrator" may read date_of_birth, diagnosis, medical_issues, name, treatment from datastore "ehr" although no declared flow requires it; most sensitive field "diagnosis" (impact 0.90/high, likelihood 0.15/low) => risk medium
+ALERT [unmodelled-behaviour]: observed read of [diagnosis] by "researcher" on "ehr" has no matching transition from state s21; the design model and the running system disagree
+cluster replay complete: 10 events (1 unregistered), 3 alerts`
+
+// TestRunClusterReplayGoldenAcrossNodeCounts runs privaserve -cluster N
+// end-to-end — model generation, N ingest nodes, the router replaying the
+// recorded trace over HTTP/2 binary frames, then live serving until the
+// duration elapses — and requires the identical alert block for 1, 2 and 4
+// nodes, matching the single-monitor golden alerts.
+func TestRunClusterReplayGoldenAcrossNodeCounts(t *testing.T) {
+	modelPath, profilePath, eventsPath := replayFixture(t, t.TempDir())
+	outputs := make(map[int]string)
+	for _, nodes := range []int{1, 2, 4} {
+		var out strings.Builder
+		err := run(context.Background(), []string{
+			"-model", modelPath,
+			"-profile", profilePath,
+			"-events", eventsPath,
+			"-cluster", fmt.Sprint(nodes),
+			"-duration", "100ms",
+		}, &out)
+		if err != nil {
+			t.Fatalf("cluster=%d: run: %v", nodes, err)
+		}
+		text := out.String()
+		if want := fmt.Sprintf("cluster: %d ingest nodes", nodes); !strings.Contains(text, want) {
+			t.Errorf("cluster=%d: output missing %q", nodes, want)
+		}
+		if !strings.Contains(text, "duration elapsed; 3 alerts recorded") {
+			t.Errorf("cluster=%d: output missing the final alert count:\n%s", nodes, text)
+		}
+		outputs[nodes] = clusterAlertSection(text)
+	}
+	for _, nodes := range []int{2, 4} {
+		if outputs[nodes] != outputs[1] {
+			t.Errorf("alert block differs between 1 and %d nodes:\n--- nodes=1\n%s\n--- nodes=%d\n%s",
+				nodes, outputs[1], nodes, outputs[nodes])
+		}
+	}
+	if outputs[1] != goldenClusterReplay {
+		t.Errorf("alert block does not match the golden transcript:\n--- got\n%s\n--- want\n%s",
+			outputs[1], goldenClusterReplay)
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	privaserve -model model.json [-profile profile.json] [-duration 30s]
 //	           [-monitor-shards 16] [-events replay.json] [-model-cache dir]
+//	           [-cluster N]
 //
 // The server addresses are printed on startup; drive them with any HTTP
 // client (the X-Privascope-Actor header selects the acting actor). The
@@ -18,6 +19,12 @@
 // identical for every value. -events replays a JSON array of events through
 // the monitor's batch-ingestion path before live serving starts, which is
 // useful for smoke-testing a model against a recorded trace.
+//
+// -cluster N distributes the observation plane: N in-process ingest nodes
+// (internal/cluster), each with its own monitor and HTTP server, fronted by
+// a consistent-hash router that streams binary event frames to each user's
+// owner node. The alert set is identical to single-monitor mode for every N;
+// each node also exposes /metrics and /debug/pprof.
 package main
 
 import (
@@ -60,6 +67,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	monitorShards := fs.Int("monitor-shards", 0, "monitor lock stripes for per-user state (0 = one per CPU)")
 	eventsPath := fs.String("events", "", "path to a JSON array of events to replay through the monitor at startup")
 	modelCache := fs.String("model-cache", "", "directory of the persistent compiled-model cache (empty = off)")
+	clusterNodes := fs.Int("cluster", 0, "spawn N in-process ingest nodes behind a consistent-hash router (0 = single monitor)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,11 +92,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	monitor, err := privascope.NewMonitor(generated, privascope.MonitorConfig{Shards: *monitorShards})
+	profile, err := loadProfile(*profilePath, model)
 	if err != nil {
 		return err
 	}
-	profile, err := loadProfile(*profilePath, model)
+	if *clusterNodes > 0 {
+		return runClusterMode(ctx, *clusterNodes, generated, model, profile,
+			*monitorShards, *eventsPath, *duration, out)
+	}
+	monitor, err := privascope.NewMonitor(generated, privascope.MonitorConfig{Shards: *monitorShards})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// corpusSeeds builds the committed fuzz seed inputs: one valid frame and the
+// interesting hostile shapes (truncation, future version, adversarial length
+// prefix) that the decoder's validation paths must survive.
+func corpusSeeds(t testing.TB) map[string][]byte {
+	t.Helper()
+	valid, err := EncodeFrame(frameTestEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	futureVersion := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint16(futureVersion[4:], FrameVersion+1)
+	oversized := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(oversized[8:], MaxFrameBytes+1)
+	return map[string][]byte{
+		"valid":            valid,
+		"truncated-header": valid[:11],
+		"truncated-events": valid[:len(valid)-5],
+		"future-version":   futureVersion,
+		"oversized-length": oversized,
+	}
+}
+
+// FuzzFrameDecode hammers the ingest wire decoder with arbitrary bytes: it
+// must never panic, and any frame it does accept must re-encode and
+// re-decode to the same events (the decoder's output is inside the codec's
+// round-trip fixpoint).
+func FuzzFrameDecode(f *testing.F) {
+	for _, seed := range corpusSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := DecodeFrame(data)
+		if err != nil {
+			if events != nil {
+				t.Fatalf("decode returned both events and error %v", err)
+			}
+			return
+		}
+		reencoded, err := EncodeFrame(events)
+		if err != nil {
+			t.Fatalf("re-encoding accepted events failed: %v", err)
+		}
+		again, err := DecodeFrame(reencoded)
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded frame failed: %v", err)
+		}
+		if !reflect.DeepEqual(events, again) {
+			t.Fatalf("decode/encode/decode is not a fixpoint:\nfirst  %+v\nsecond %+v", events, again)
+		}
+	})
+}
+
+// TestFuzzCorpusCommitted checks the committed seed corpus stays in sync
+// with the wire format: each file exists in go-fuzz v1 form and its input
+// produces the outcome its name promises. Regenerate with
+// CLUSTER_REGEN_CORPUS=1 after a deliberate format change.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzFrameDecode")
+	seeds := corpusSeeds(t)
+	if os.Getenv("CLUSTER_REGEN_CORPUS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for name, want := range seeds {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("corpus entry %s missing (regenerate with CLUSTER_REGEN_CORPUS=1): %v", name, err)
+		}
+		const header = "go test fuzz v1\n[]byte("
+		s := string(raw)
+		if !strings.HasPrefix(s, header) || !strings.HasSuffix(s, ")\n") {
+			t.Fatalf("corpus entry %s is not in go-fuzz v1 form", name)
+		}
+		data, err := strconv.Unquote(s[len(header) : len(s)-2])
+		if err != nil {
+			t.Fatalf("corpus entry %s: %v", name, err)
+		}
+		if !bytes.Equal([]byte(data), want) {
+			t.Fatalf("corpus entry %s is stale; regenerate with CLUSTER_REGEN_CORPUS=1", name)
+		}
+		_, decErr := DecodeFrame([]byte(data))
+		switch name {
+		case "valid":
+			if decErr != nil {
+				t.Fatalf("valid corpus entry rejected: %v", decErr)
+			}
+		case "future-version":
+			if !errors.Is(decErr, ErrFrameVersion) {
+				t.Fatalf("future-version corpus entry: %v, want ErrFrameVersion", decErr)
+			}
+		default:
+			if decErr == nil {
+				t.Fatalf("corrupt corpus entry %s accepted", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privascope/internal/core"
+	"privascope/internal/risk"
+	"privascope/internal/runtime"
+	"privascope/internal/service"
+)
+
+// NodeConfig configures one ingest node.
+type NodeConfig struct {
+	// Name is the node's ring name (required; must match the Router's view).
+	Name string
+	// Monitor configures the node's runtime monitor.
+	Monitor runtime.Config
+	// QueueEvents bounds the events buffered between the HTTP handlers and
+	// the drain worker; past it the node answers 429. 0 selects
+	// DefaultQueueEvents.
+	QueueEvents int
+	// RetryAfter is the advisory delay sent with 429 responses. 0 selects
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
+}
+
+const (
+	// DefaultQueueEvents is the per-node admission bound: enough for a few
+	// dozen full frames in flight, small enough that a stalled drain worker
+	// pushes back within milliseconds of traffic.
+	DefaultQueueEvents = 65536
+	// DefaultRetryAfter is the advisory 429 Retry-After.
+	DefaultRetryAfter = time.Second
+	// nodeQueueBatches is the drain channel's capacity in batches; admission
+	// is governed by the event-count bound, this only has to be deep enough
+	// to never be the effective limit for reasonably sized frames.
+	nodeQueueBatches = 1024
+)
+
+// NodeStats is an atomic snapshot of one node's counters.
+type NodeStats struct {
+	// Frames and Events count what the ingest endpoint accepted; Rejected
+	// counts events turned away with 429; DecodeErrors counts malformed
+	// frames (400).
+	Frames       int64
+	Events       int64
+	Rejected     int64
+	DecodeErrors int64
+	// QueueDepth is the number of accepted events not yet applied to the
+	// monitor; QueueLimit is the admission bound.
+	QueueDepth int64
+	QueueLimit int64
+	// Ingest aggregates the monitor's per-batch IngestStats.
+	Ingest runtime.IngestStats
+}
+
+// Node is one ingest server of the cluster: it decodes event frames from
+// /ingest, queues them through a bounded buffer, and applies them to its own
+// runtime.Monitor on a single drain goroutine — one drainer per node keeps
+// cross-frame per-user order exactly as the frames arrived, and the monitor's
+// own shard fan-out below it provides the parallelism.
+type Node struct {
+	name       string
+	monitor    *runtime.Monitor
+	mux        *http.ServeMux
+	queue      chan []service.Event
+	retryAfter time.Duration
+	queueLimit int64
+
+	pending      atomic.Int64 // accepted events not yet applied
+	frames       atomic.Int64
+	events       atomic.Int64
+	rejected     atomic.Int64
+	decodeErrors atomic.Int64
+
+	statsMu sync.Mutex
+	ingest  runtime.IngestStats
+
+	stop     chan struct{}
+	drained  chan struct{}
+	stopOnce sync.Once
+}
+
+// NewNode builds a node with its own monitor over the model.
+func NewNode(p *core.PrivacyLTS, cfg NodeConfig) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("cluster: node needs a name")
+	}
+	monitor, err := runtime.NewMonitor(p, cfg.Monitor)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %q: %w", cfg.Name, err)
+	}
+	if cfg.QueueEvents <= 0 {
+		cfg.QueueEvents = DefaultQueueEvents
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	n := &Node{
+		name:       cfg.Name,
+		monitor:    monitor,
+		queue:      make(chan []service.Event, nodeQueueBatches),
+		retryAfter: cfg.RetryAfter,
+		queueLimit: int64(cfg.QueueEvents),
+		stop:       make(chan struct{}),
+		drained:    make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", n.handleIngest)
+	mux.HandleFunc("POST /register", n.handleRegister)
+	mux.HandleFunc("GET /alerts", n.handleAlerts)
+	mux.HandleFunc("GET /healthz", n.handleHealthz)
+	mux.HandleFunc("GET /metrics", n.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	n.mux = mux
+	go n.drain()
+	return n, nil
+}
+
+// Name returns the node's ring name.
+func (n *Node) Name() string { return n.name }
+
+// Monitor exposes the node's monitor (management plane: registration in
+// tests and benchmarks, alert queries).
+func (n *Node) Monitor() *runtime.Monitor { return n.monitor }
+
+// Handler returns the node's HTTP handler.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() NodeStats {
+	n.statsMu.Lock()
+	ingest := n.ingest
+	n.statsMu.Unlock()
+	return NodeStats{
+		Frames:       n.frames.Load(),
+		Events:       n.events.Load(),
+		Rejected:     n.rejected.Load(),
+		DecodeErrors: n.decodeErrors.Load(),
+		QueueDepth:   n.pending.Load(),
+		QueueLimit:   n.queueLimit,
+		Ingest:       ingest,
+	}
+}
+
+// drain is the node's single ingestion worker.
+func (n *Node) drain() {
+	defer close(n.drained)
+	for {
+		select {
+		case batch := <-n.queue:
+			stats := n.monitor.IngestBatch(batch)
+			n.statsMu.Lock()
+			n.ingest.Merge(stats)
+			n.statsMu.Unlock()
+			n.pending.Add(-int64(len(batch)))
+		case <-n.stop:
+			// Drain what was admitted before stopping: accepted events must
+			// not be dropped.
+			for {
+				select {
+				case batch := <-n.queue:
+					stats := n.monitor.IngestBatch(batch)
+					n.statsMu.Lock()
+					n.ingest.Merge(stats)
+					n.statsMu.Unlock()
+					n.pending.Add(-int64(len(batch)))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Quiesce blocks until every accepted event has been applied to the monitor
+// (or ctx is done). The router's Flush plus every node's Quiesce is the
+// cluster-wide happens-before edge tests rely on.
+func (n *Node) Quiesce(ctx context.Context) error {
+	tick := time.NewTicker(500 * time.Microsecond)
+	defer tick.Stop()
+	for n.pending.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	return nil
+}
+
+// Close stops the drain worker after it has applied every accepted batch.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	<-n.drained
+}
+
+// admit reserves room for a decoded batch, returning false when the node is
+// saturated. Reservation is optimistic-add/rollback on the pending counter,
+// so concurrent ingest streams cannot jointly overshoot the bound.
+func (n *Node) admit(batch []service.Event) bool {
+	count := int64(len(batch))
+	if n.pending.Add(count) > n.queueLimit {
+		n.pending.Add(-count)
+		return false
+	}
+	select {
+	case n.queue <- batch:
+		return true
+	default:
+		n.pending.Add(-count)
+		return false
+	}
+}
+
+// ingestResponse is the /ingest reply body.
+type ingestResponse struct {
+	// Accepted counts the request's frames admitted to the queue; on 429 the
+	// client resends from frame Accepted.
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleIngest streams frames out of the request body into the ingest queue.
+// The whole body is one frame sequence; the response reports how many frames
+// were admitted, so a 429 mid-stream tells the client exactly where to
+// resume.
+func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
+	fr := NewFrameReader(r.Body)
+	accepted := 0
+	for {
+		batch, err := fr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			n.decodeErrors.Add(1)
+			writeJSON(w, http.StatusBadRequest, ingestResponse{Accepted: accepted, Error: err.Error()})
+			return
+		}
+		if !n.admit(batch) {
+			n.rejected.Add(int64(len(batch)))
+			w.Header().Set("Retry-After", strconv.Itoa(int((n.retryAfter + time.Second - 1) / time.Second)))
+			writeJSON(w, http.StatusTooManyRequests, ingestResponse{Accepted: accepted, Error: "ingest queue full"})
+			return
+		}
+		n.frames.Add(1)
+		n.events.Add(int64(len(batch)))
+		accepted++
+	}
+	writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: accepted})
+}
+
+// handleRegister registers a JSON array of user profiles with the node's
+// monitor. Registration is management-plane: rare, small, human-scale — JSON
+// keeps it debuggable, the binary frame format is reserved for the event
+// firehose.
+func (n *Node) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var profiles []risk.UserProfile
+	if err := json.NewDecoder(io.LimitReader(r.Body, MaxFrameBytes)).Decode(&profiles); err != nil {
+		http.Error(w, "cluster: bad register payload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	for i := range profiles {
+		if err := n.monitor.RegisterUserContext(r.Context(), profiles[i]); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"registered": len(profiles)})
+}
+
+// alertJSON is the wire form of one alert.
+type alertJSON struct {
+	Kind    string        `json:"kind"`
+	UserID  string        `json:"user_id"`
+	Message string        `json:"message"`
+	Risk    string        `json:"risk,omitempty"`
+	Event   service.Event `json:"event"`
+}
+
+// handleAlerts returns the node's alert log in observation order.
+func (n *Node) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	alerts := n.monitor.Alerts()
+	out := make([]alertJSON, len(alerts))
+	for i, a := range alerts {
+		out[i] = alertJSON{
+			Kind:    a.Kind.String(),
+			UserID:  a.UserID,
+			Message: a.Message,
+			Event:   a.Event,
+		}
+		if a.Kind == runtime.AlertRisk {
+			out[i].Risk = a.Risk.String()
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node":    n.name,
+		"pending": n.pending.Load(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

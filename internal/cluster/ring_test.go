@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewRingRejectsBadNodeLists(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("NewRing(nil) succeeded")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("NewRing with an empty name succeeded")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("NewRing with a duplicate name succeeded")
+	}
+}
+
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"only"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if owner := r.Owner(fmt.Sprintf("user-%d", i)); owner != "only" {
+			t.Fatalf("user-%d owned by %q in a single-node ring", i, owner)
+		}
+	}
+}
+
+func TestRingHashMatchesMonitorStripeHash(t *testing.T) {
+	// HashUserID must stay the FNV-1a the monitor stripes by; pin a few
+	// reference values so a drift in either copy fails loudly.
+	want := map[string]uint32{
+		"":          2166136261,
+		"patient-1": 1816774696,
+	}
+	for in, out := range want {
+		if got := HashUserID(in); got != out {
+			t.Errorf("HashUserID(%q) = %d, want %d", in, got, out)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const users = 40000
+	for i := 0; i < users; i++ {
+		counts[r.Owner(fmt.Sprintf("user-%d", i))]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / users
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %q owns %.1f%% of users; the ring is badly unbalanced: %v",
+				n, 100*share, counts)
+		}
+	}
+}
+
+func TestRingWithAndWithoutNode(t *testing.T) {
+	r, err := NewRing([]string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := r.WithNode("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := grown.Size(); got != 3 {
+		t.Fatalf("grown ring has %d nodes, want 3", got)
+	}
+	if _, err := r.WithNode("a"); err == nil {
+		t.Fatal("adding a duplicate node succeeded")
+	}
+	shrunk, err := grown.WithoutNode("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shrunk.Size(); got != 2 {
+		t.Fatalf("shrunk ring has %d nodes, want 2", got)
+	}
+	if _, err := r.WithoutNode("zzz"); err == nil {
+		t.Fatal("removing an absent node succeeded")
+	}
+	// Round-tripping through add+remove restores the exact assignment.
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("user-%d", i)
+		if r.Owner(id) != shrunk.Owner(id) {
+			t.Fatalf("user %q moved from %q to %q across an add+remove round trip",
+				id, r.Owner(id), shrunk.Owner(id))
+		}
+	}
+}

@@ -1,0 +1,431 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privascope/internal/risk"
+	"privascope/internal/service"
+)
+
+// RouterConfig configures the ingest client.
+type RouterConfig struct {
+	// Nodes maps ring node names to base URLs (required, at least one).
+	Nodes map[string]string
+	// Replicas is the ring's virtual-node count (0 selects DefaultReplicas).
+	Replicas int
+	// BatchEvents is the per-node buffer size at which a frame is cut and
+	// sent (0 selects DefaultBatchEvents).
+	BatchEvents int
+	// FlushInterval bounds how long a buffered event may wait before the
+	// partial frame is sent anyway (0 selects DefaultFlushInterval).
+	FlushInterval time.Duration
+	// MaxInFlight bounds the cut frames queued for delivery per node; a full
+	// window blocks Send, which is the client half of the backpressure
+	// protocol. Delivery itself is one FIFO sender per node regardless of
+	// the window, so per-user event order is preserved end to end; a larger
+	// window only deepens the queue feeding that sender. Default 1.
+	MaxInFlight int
+	// MaxRetries bounds delivery attempts per frame sequence, 429 rounds
+	// included (0 selects DefaultMaxRetries).
+	MaxRetries int
+	// HTTPClient overrides the default unencrypted-HTTP/2 client.
+	HTTPClient *http.Client
+}
+
+const (
+	// DefaultBatchEvents is the frame-cut threshold: large enough to
+	// amortize the per-request cost over hundreds of events, small enough to
+	// stay far below MaxFrameBytes for any realistic event size.
+	DefaultBatchEvents = 512
+	// DefaultFlushInterval bounds buffered-event latency.
+	DefaultFlushInterval = 50 * time.Millisecond
+	// DefaultMaxRetries bounds attempts per frame sequence.
+	DefaultMaxRetries = 16
+)
+
+// RouterStats is a snapshot of the router's counters.
+type RouterStats struct {
+	// EventsSent and FramesSent count what reached a node's queue (accepted,
+	// after any retries); Rejected429 counts backpressure rounds; Retries
+	// counts re-sent frame sequences; Dropped counts frames abandoned after
+	// MaxRetries.
+	EventsSent  int64
+	FramesSent  int64
+	Rejected429 int64
+	Retries     int64
+	Dropped     int64
+}
+
+// nodeSender is the per-node half of the router: a buffer the Send path
+// appends to, and a single goroutine posting cut frames in FIFO order, so the
+// per-user event order the ring guarantees (one user, one node) survives the
+// wire.
+type nodeSender struct {
+	name string
+	url  string
+
+	mu  sync.Mutex
+	buf []service.Event
+	enc frameEncoder
+
+	frames chan []byte // cut frames, FIFO; capacity = MaxInFlight
+}
+
+// Router is the cluster's ingest client: it partitions events over the ring,
+// buffers per node, cuts binary frames at the batch threshold or flush
+// deadline, and honors 429 + Retry-After backpressure.
+type Router struct {
+	ring    *Ring
+	client  *http.Client
+	senders map[string]*nodeSender
+	cfg     RouterConfig
+
+	pending atomic.Int64 // frames cut but not yet accepted or dropped
+	events  atomic.Int64
+	frames  atomic.Int64
+	rej429  atomic.Int64
+	retries atomic.Int64
+	dropped atomic.Int64
+
+	errMu    sync.Mutex
+	firstErr error
+
+	stopTick  chan struct{}
+	tickDone  chan struct{}
+	sendersWG sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// h2cClient is the default transport: unencrypted HTTP/2 (the fleet speaks
+// h2c inside the perimeter; one multiplexed connection per node).
+func h2cClient() *http.Client {
+	var p http.Protocols
+	p.SetUnencryptedHTTP2(true)
+	return &http.Client{Transport: &http.Transport{Protocols: &p}}
+}
+
+// NewRouter builds a router over the configured nodes.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one node")
+	}
+	names := make([]string, 0, len(cfg.Nodes))
+	for name, url := range cfg.Nodes {
+		if url == "" {
+			return nil, fmt.Errorf("cluster: node %q has no URL", name)
+		}
+		names = append(names, name)
+	}
+	ring, err := NewRing(names, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BatchEvents <= 0 {
+		cfg.BatchEvents = DefaultBatchEvents
+	}
+	if cfg.BatchEvents > MaxFrameEvents {
+		cfg.BatchEvents = MaxFrameEvents
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = DefaultFlushInterval
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 1
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	client := cfg.HTTPClient
+	if client == nil {
+		client = h2cClient()
+	}
+	r := &Router{
+		ring:     ring,
+		client:   client,
+		senders:  make(map[string]*nodeSender, len(names)),
+		cfg:      cfg,
+		stopTick: make(chan struct{}),
+		tickDone: make(chan struct{}),
+	}
+	for name, url := range cfg.Nodes {
+		s := &nodeSender{
+			name:   name,
+			url:    url,
+			frames: make(chan []byte, cfg.MaxInFlight),
+		}
+		r.senders[name] = s
+		r.sendersWG.Add(1)
+		go r.sendLoop(s)
+	}
+	go r.tickLoop()
+	return r, nil
+}
+
+// Ring returns the router's partitioning ring.
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Stats snapshots the router's counters.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		EventsSent:  r.events.Load(),
+		FramesSent:  r.frames.Load(),
+		Rejected429: r.rej429.Load(),
+		Retries:     r.retries.Load(),
+		Dropped:     r.dropped.Load(),
+	}
+}
+
+// Err returns the first delivery error, if any frame sequence was dropped.
+func (r *Router) Err() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.firstErr
+}
+
+func (r *Router) setErr(err error) {
+	r.errMu.Lock()
+	if r.firstErr == nil {
+		r.firstErr = err
+	}
+	r.errMu.Unlock()
+}
+
+// Send routes one event to its owner's buffer, cutting a frame when the
+// buffer reaches the batch threshold. It blocks when the owner's in-flight
+// window is full — that block is the backpressure propagating to the caller.
+func (r *Router) Send(ctx context.Context, ev service.Event) error {
+	s := r.senders[r.ring.Owner(ev.UserID)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = append(s.buf, ev)
+	if len(s.buf) >= r.cfg.BatchEvents {
+		return r.cutLocked(ctx, s)
+	}
+	return nil
+}
+
+// SendBatch routes a batch of events.
+func (r *Router) SendBatch(ctx context.Context, events []service.Event) error {
+	for _, ev := range events {
+		if err := r.Send(ctx, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cutLocked encodes s.buf as one frame and queues it on the sender, blocking
+// while the in-flight window is full. Called with s.mu held; holding it
+// through the (possibly blocking) queue insert keeps frame order identical
+// to buffer order.
+func (r *Router) cutLocked(ctx context.Context, s *nodeSender) error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	frame, err := s.enc.appendFrame(nil, s.buf)
+	if err != nil {
+		return err
+	}
+	s.buf = s.buf[:0]
+	r.pending.Add(1)
+	select {
+	case s.frames <- frame:
+		return nil
+	case <-ctx.Done():
+		r.pending.Add(-1)
+		return ctx.Err()
+	}
+}
+
+// tickLoop cuts partial frames at the flush interval so buffered events
+// never wait longer than FlushInterval.
+func (r *Router) tickLoop() {
+	defer close(r.tickDone)
+	tick := time.NewTicker(r.cfg.FlushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			for _, s := range r.senders {
+				s.mu.Lock()
+				err := r.cutLocked(context.Background(), s)
+				s.mu.Unlock()
+				if err != nil {
+					r.setErr(err)
+				}
+			}
+		case <-r.stopTick:
+			return
+		}
+	}
+}
+
+// sendLoop posts cut frames in order. It drains greedily: every frame
+// already queued behind the first is concatenated into the same request body
+// (a body is a frame sequence), amortizing the request overhead under load.
+func (r *Router) sendLoop(s *nodeSender) {
+	defer r.sendersWG.Done()
+	for first := range s.frames {
+		frames := [][]byte{first}
+		events := eventCountOf(first)
+	drainMore:
+		for {
+			select {
+			case f, ok := <-s.frames:
+				if !ok {
+					break drainMore
+				}
+				frames = append(frames, f)
+				events += eventCountOf(f)
+			default:
+				break drainMore
+			}
+		}
+		if err := r.post(s, frames); err != nil {
+			r.setErr(fmt.Errorf("cluster: node %q: %w", s.name, err))
+			r.dropped.Add(int64(len(frames)))
+		} else {
+			r.frames.Add(int64(len(frames)))
+			r.events.Add(int64(events))
+		}
+		r.pending.Add(-int64(len(frames)))
+	}
+}
+
+// eventCountOf reads the event count out of an encoded frame header.
+func eventCountOf(frame []byte) int {
+	return int(uint32(frame[12]) | uint32(frame[13])<<8 | uint32(frame[14])<<16 | uint32(frame[15])<<24)
+}
+
+// post delivers a frame sequence, honoring 429 + Retry-After: a saturated
+// node reports how many frames it accepted, the router sleeps the advised
+// delay and resends from there. Non-2xx/429 responses and transport errors
+// retry the whole remainder, up to MaxRetries attempts in total.
+func (r *Router) post(s *nodeSender, frames [][]byte) error {
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+		}
+		resp, err := r.client.Post(s.url+"/ingest", "application/octet-stream", bytes.NewReader(bytes.Join(frames, nil)))
+		if err != nil {
+			lastErr = err
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			return nil
+		case http.StatusTooManyRequests:
+			r.rej429.Add(1)
+			var ir ingestResponse
+			if json.Unmarshal(body, &ir) == nil && ir.Accepted > 0 && ir.Accepted <= len(frames) {
+				frames = frames[ir.Accepted:]
+			}
+			if len(frames) == 0 {
+				return nil
+			}
+			time.Sleep(retryAfterOf(resp))
+			lastErr = fmt.Errorf("saturated (429) after %d attempts", attempt+1)
+		default:
+			lastErr = fmt.Errorf("ingest returned %s: %s", resp.Status, bytes.TrimSpace(body))
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return lastErr
+}
+
+// retryAfterOf parses a 429's Retry-After seconds, with a floor that keeps a
+// zero or missing header from turning the retry loop into a hot spin.
+func retryAfterOf(resp *http.Response) time.Duration {
+	if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+		return min(time.Duration(sec)*time.Second, 5*time.Second)
+	}
+	return 20 * time.Millisecond
+}
+
+// Register sends each profile to its owner node's /register endpoint.
+func (r *Router) Register(ctx context.Context, profiles []risk.UserProfile) error {
+	byNode := make(map[string][]risk.UserProfile)
+	for _, p := range profiles {
+		owner := r.ring.Owner(p.ID)
+		byNode[owner] = append(byNode[owner], p)
+	}
+	for name, group := range byNode {
+		payload, err := json.Marshal(group)
+		if err != nil {
+			return fmt.Errorf("cluster: encoding profiles: %w", err)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.senders[name].url+"/register", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.client.Do(req)
+		if err != nil {
+			return fmt.Errorf("cluster: registering on %q: %w", name, err)
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("cluster: registering on %q: %s: %s", name, resp.Status, bytes.TrimSpace(body))
+		}
+	}
+	return nil
+}
+
+// Flush cuts every buffered partial frame and waits until all cut frames
+// have been accepted or dropped.
+func (r *Router) Flush(ctx context.Context) error {
+	for _, s := range r.senders {
+		s.mu.Lock()
+		err := r.cutLocked(ctx, s)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	tick := time.NewTicker(500 * time.Microsecond)
+	defer tick.Stop()
+	for r.pending.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	return r.Err()
+}
+
+// Close flushes buffered events, stops the background goroutines and returns
+// the first delivery error, if any.
+func (r *Router) Close() error {
+	var err error
+	r.closeOnce.Do(func() {
+		close(r.stopTick)
+		<-r.tickDone
+		err = r.Flush(context.Background())
+		for _, s := range r.senders {
+			close(s.frames)
+		}
+		r.sendersWG.Wait()
+		// Drop the pooled HTTP/2 connections so node servers can shut down
+		// without waiting out their graceful-shutdown poll.
+		r.client.CloseIdleConnections()
+		if err == nil {
+			err = r.Err()
+		}
+	})
+	return err
+}

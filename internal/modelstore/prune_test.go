@@ -1,0 +1,176 @@
+package modelstore_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"privascope/internal/core"
+	"privascope/internal/dataflow"
+	"privascope/internal/modelstore"
+	"privascope/internal/synth"
+)
+
+// savedFixtures saves n distinct models into the store, oldest first, and
+// returns their fingerprints in save order with strictly increasing mtimes
+// (coarse filesystem timestamps would otherwise make LRU order a coin toss).
+func savedFixtures(t *testing.T, store *modelstore.Store, n int) ([]string, []*dataflow.Model) {
+	t.Helper()
+	fps := make([]string, n)
+	models := make([]*dataflow.Model, n)
+	base := time.Now().Add(-time.Duration(n+1) * time.Hour)
+	for i := 0; i < n; i++ {
+		m := synth.Model(synth.ModelSpec{Services: 2 + i})
+		p, err := core.Generate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := dataflow.Fingerprint(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Save(fp, p); err != nil {
+			t.Fatal(err)
+		}
+		path, err := store.Path(fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mtime := base.Add(time.Duration(i) * time.Hour)
+		if err := os.Chtimes(path, mtime, mtime); err != nil {
+			t.Fatal(err)
+		}
+		fps[i] = fp
+		models[i] = m
+	}
+	return fps, models
+}
+
+func TestPruneEvictsLeastRecentlyUsed(t *testing.T) {
+	store, err := modelstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps, models := savedFixtures(t, store, 4)
+
+	// Loading the oldest artifact touches it, promoting it past the others.
+	if _, err := store.Load(fps[0], models[0]); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := store.Prune(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("Prune removed %d artifacts, want 2", removed)
+	}
+	for i, want := range []bool{true, false, false, true} {
+		if got := store.Has(fps[i]); got != want {
+			t.Errorf("after prune, Has(%d) = %v, want %v", i, got, want)
+		}
+	}
+
+	// Pruning below the population is a no-op; negative keep is an error.
+	if removed, err := store.Prune(10); err != nil || removed != 0 {
+		t.Fatalf("Prune(10) = %d, %v; want 0, nil", removed, err)
+	}
+	if _, err := store.Prune(-1); err == nil {
+		t.Fatal("Prune(-1) succeeded")
+	}
+}
+
+func TestPruneZeroEvictsEverythingButSkipsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	store, err := modelstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps, _ := savedFixtures(t, store, 2)
+	foreign := filepath.Join(dir, "README.txt")
+	tempish := filepath.Join(dir, ".deadbeef.tmp-123")
+	for _, p := range []string{foreign, tempish} {
+		if err := os.WriteFile(p, []byte("not an artifact"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := store.Prune(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != len(fps) {
+		t.Fatalf("Prune(0) removed %d, want %d", removed, len(fps))
+	}
+	for _, p := range []string{foreign, tempish} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("Prune touched non-artifact %s: %v", p, err)
+		}
+	}
+}
+
+// TestPruneDuringConcurrentLoad hammers Load against a concurrent pruner:
+// every Load must either return the intact model or ErrNotFound (the
+// cache-miss contract) — never a torn read, decode error or panic.
+func TestPruneDuringConcurrentLoad(t *testing.T) {
+	store, err := modelstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := synth.Model(synth.ModelSpec{})
+	p, err := core.Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := dataflow.Fingerprint(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(fp, p); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			loaded, err := store.Load(fp, m)
+			if err != nil {
+				if errors.Is(err, modelstore.ErrNotFound) {
+					continue // pruned out from under us: the documented miss
+				}
+				errs <- fmt.Errorf("round %d: Load: %v", i, err)
+				return
+			}
+			if loaded.Graph.StateCount() != p.Graph.StateCount() {
+				errs <- fmt.Errorf("round %d: loaded model has %d states, want %d",
+					i, loaded.Graph.StateCount(), p.Graph.StateCount())
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := store.Prune(0); err != nil {
+				errs <- fmt.Errorf("round %d: Prune: %v", i, err)
+				return
+			}
+			// Reinstall so later Loads have something to race against.
+			if err := store.Save(fp, p); err != nil {
+				errs <- fmt.Errorf("round %d: Save: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -138,7 +138,7 @@ func newTransitionIndex(p *core.PrivacyLTS) *transitionIndex {
 // fields (a read of a subset of the modelled fields still matches). Declared
 // flows are preferred over potential reads; within each partition the first
 // insertion-order match wins, mirroring a linear scan of Graph.Outgoing.
-func (ix *transitionIndex) match(cursor lts.StateID, ev service.Event) (lts.Transition, bool) {
+func (ix *transitionIndex) match(cursor lts.StateID, ev *service.Event) (lts.Transition, bool) {
 	if len(ev.Fields) == 0 {
 		return lts.Transition{}, false
 	}

@@ -344,6 +344,41 @@ func (m *Monitor) AlertsFor(userID string) []Alert {
 	return out
 }
 
+// deniedAlert, unmodelledAlert and riskAlert build the three alert shapes.
+// They are shared by Observe and IngestBatch so the two ingestion paths can
+// never drift apart in what they record — the cluster alert-equivalence
+// property (internal/cluster) depends on the alerts being byte-identical.
+func deniedAlert(ev *service.Event) Alert {
+	return Alert{
+		Kind:   AlertDenied,
+		UserID: ev.UserID,
+		Event:  *ev,
+		Message: fmt.Sprintf("access-control denied %s by %q on %s.%v",
+			ev.Action, ev.Actor, ev.Datastore, ev.Fields),
+	}
+}
+
+func unmodelledAlert(ev *service.Event, cursor lts.StateID) Alert {
+	return Alert{
+		Kind:   AlertUnmodelled,
+		UserID: ev.UserID,
+		Event:  *ev,
+		Message: fmt.Sprintf("observed %s of %v by %q on %q has no matching transition from state %s; the design model and the running system disagree",
+			ev.Action, ev.Fields, ev.Actor, ev.Datastore, cursor),
+	}
+}
+
+func riskAlert(ev *service.Event, finding risk.Finding) Alert {
+	return Alert{
+		Kind:    AlertRisk,
+		UserID:  ev.UserID,
+		Event:   *ev,
+		Risk:    finding.Risk,
+		Finding: finding,
+		Message: fmt.Sprintf("%s-risk disclosure event for user %q: %s", finding.Risk, ev.UserID, finding.Explanation),
+	}
+}
+
 // Observe feeds one event to the monitor and returns the resulting
 // observation. Events for unregistered users are an error; callers decide
 // whether that is fatal (tests) or just logged (live deployments).
@@ -359,27 +394,13 @@ func (m *Monitor) Observe(ev service.Event) (Observation, error) {
 	obs := Observation{From: cursor, To: cursor}
 
 	if ev.Denied {
-		alert := Alert{
-			Kind:   AlertDenied,
-			UserID: ev.UserID,
-			Event:  ev,
-			Message: fmt.Sprintf("access-control denied %s by %q on %s.%v",
-				ev.Action, ev.Actor, ev.Datastore, ev.Fields),
-		}
-		m.raise(shard, &obs, alert)
+		m.raise(shard, &obs, deniedAlert(&ev))
 		return obs, nil
 	}
 
-	transition, matched := m.index.match(cursor, ev)
+	transition, matched := m.index.match(cursor, &ev)
 	if !matched {
-		alert := Alert{
-			Kind:   AlertUnmodelled,
-			UserID: ev.UserID,
-			Event:  ev,
-			Message: fmt.Sprintf("observed %s of %v by %q on %q has no matching transition from state %s; the design model and the running system disagree",
-				ev.Action, ev.Fields, ev.Actor, ev.Datastore, cursor),
-		}
-		m.raise(shard, &obs, alert)
+		m.raise(shard, &obs, unmodelledAlert(&ev, cursor))
 		return obs, nil
 	}
 
@@ -395,25 +416,23 @@ func (m *Monitor) Observe(ev service.Event) (Observation, error) {
 	// event.
 	if finding, ok := shard.findings[ev.UserID][findingKey{tr: transition, actor: ev.Actor}]; ok &&
 		finding.Risk >= m.alertAt {
-		alert := Alert{
-			Kind:    AlertRisk,
-			UserID:  ev.UserID,
-			Event:   ev,
-			Risk:    finding.Risk,
-			Finding: finding,
-			Message: fmt.Sprintf("%s-risk disclosure event for user %q: %s", finding.Risk, ev.UserID, finding.Explanation),
-		}
-		m.raise(shard, &obs, alert)
+		m.raise(shard, &obs, riskAlert(&ev, finding))
 	}
 	return obs, nil
 }
 
-// raise stamps the alert with the next monitor-wide sequence number and
-// records it on the shard and the observation. The caller holds shard.mu.
+// raise stamps the alert and records it on the shard and the observation. The
+// caller holds shard.mu.
 func (m *Monitor) raise(shard *monitorShard, obs *Observation, alert Alert) {
+	obs.Alerts = append(obs.Alerts, m.raiseLocked(shard, alert))
+}
+
+// raiseLocked stamps the alert with the next monitor-wide sequence number and
+// appends it to the shard's alert log. The caller holds shard.mu.
+func (m *Monitor) raiseLocked(shard *monitorShard, alert Alert) Alert {
 	alert.seq = m.alertSeq.Add(1)
 	shard.alerts = append(shard.alerts, alert)
-	obs.Alerts = append(obs.Alerts, alert)
+	return alert
 }
 
 // observeBatchThreshold is the batch size below which ObserveBatch runs
@@ -516,5 +535,152 @@ func (m *Monitor) WatchBatched(events <-chan service.Event, batchSize int) int {
 		}
 		n += len(batch)
 		_, _ = m.ObserveBatch(batch)
+	}
+}
+
+// IngestStats aggregates one batched ingestion: how many events were applied
+// and how each resolved. Events + 0 = Matched + Unmodelled + Denied +
+// Unregistered; RiskAlerts counts the matched events that additionally raised
+// an AlertRisk.
+type IngestStats struct {
+	// Events is the number of events processed (the whole input unless the
+	// context was cancelled mid-batch).
+	Events int
+	// Matched events advanced their user's cursor along a model transition.
+	Matched int
+	// Unmodelled events had no matching transition and raised
+	// AlertUnmodelled.
+	Unmodelled int
+	// Denied events were refused by access control and raised AlertDenied.
+	Denied int
+	// RiskAlerts counts matched events that raised an AlertRisk.
+	RiskAlerts int
+	// Unregistered events named a user the monitor does not track; they are
+	// counted and dropped (the fleet ingestion path must not fail a whole
+	// frame over one unknown user).
+	Unregistered int
+}
+
+// Merge accumulates stats (per-shard buckets, or per-batch node totals).
+func (s *IngestStats) Merge(o IngestStats) {
+	s.Events += o.Events
+	s.Matched += o.Matched
+	s.Unmodelled += o.Unmodelled
+	s.Denied += o.Denied
+	s.RiskAlerts += o.RiskAlerts
+	s.Unregistered += o.Unregistered
+}
+
+// ingestCancelStride is how many events an ingest worker applies between
+// context polls: context.Err takes a lock, so per-event polling would cost
+// more than the work it guards.
+const ingestCancelStride = 256
+
+// IngestBatch is the monitor's high-throughput ingestion path, built for the
+// cluster ingest protocol (internal/cluster): it applies the batch exactly
+// like ObserveBatch — same cursor movement, same alerts, byte-identical
+// alert log — but returns aggregate counts instead of materialising one
+// Observation per event, holds each shard's lock once per bucket instead of
+// once per event, and counts events for unregistered users instead of
+// failing. Per-user event order is preserved (same user ⇒ same shard ⇒ same
+// bucket, processed in input order).
+func (m *Monitor) IngestBatch(events []service.Event) IngestStats {
+	stats, _ := m.IngestBatchContext(context.Background(), events)
+	return stats
+}
+
+// IngestBatchContext is IngestBatch with cancellation: workers poll ctx every
+// ingestCancelStride events and stop applying the remainder of their bucket
+// when ctx is done; the fan-out is joined before returning and the error is
+// ctx.Err(). Events skipped by cancellation are not counted in the stats.
+func (m *Monitor) IngestBatchContext(ctx context.Context, events []service.Event) (IngestStats, error) {
+	var stats IngestStats
+	if len(m.shards) == 1 || len(events) < observeBatchThreshold {
+		// Sequential path: group runs of events that share a shard so the
+		// lock is taken once per run, not once per event.
+		var (
+			cur    *monitorShard
+			locked bool
+		)
+		for i := range events {
+			if i%ingestCancelStride == 0 && ctx.Err() != nil {
+				break
+			}
+			shard := m.shardFor(events[i].UserID)
+			if shard != cur {
+				if locked {
+					cur.mu.Unlock()
+				}
+				cur = shard
+				cur.mu.Lock()
+				locked = true
+			}
+			m.ingestLocked(cur, &events[i], &stats)
+		}
+		if locked {
+			cur.mu.Unlock()
+		}
+		return stats, ctx.Err()
+	}
+	// Same user => same shard => same bucket, processed in input order, so
+	// per-user sequences are independent of the fan-out (mirrors
+	// ObserveBatchContext).
+	buckets := make([][]int, len(m.shards))
+	for i, ev := range events {
+		idx := m.shardIndexFor(ev.UserID)
+		buckets[idx] = append(buckets[idx], i)
+	}
+	perShard := make([]IngestStats, len(m.shards))
+	var wg sync.WaitGroup
+	for b, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(shard *monitorShard, idxs []int, st *IngestStats) {
+			defer wg.Done()
+			shard.mu.Lock()
+			defer shard.mu.Unlock()
+			for n, i := range idxs {
+				if n%ingestCancelStride == 0 && ctx.Err() != nil {
+					return
+				}
+				m.ingestLocked(shard, &events[i], st)
+			}
+		}(&m.shards[b], bucket, &perShard[b])
+	}
+	wg.Wait()
+	for i := range perShard {
+		stats.Merge(perShard[i])
+	}
+	return stats, ctx.Err()
+}
+
+// ingestLocked applies one event to its shard, mirroring Observe's logic
+// without building an Observation. The caller holds shard.mu.
+func (m *Monitor) ingestLocked(shard *monitorShard, ev *service.Event, stats *IngestStats) {
+	stats.Events++
+	cursor, ok := shard.cursors[ev.UserID]
+	if !ok {
+		stats.Unregistered++
+		return
+	}
+	if ev.Denied {
+		stats.Denied++
+		m.raiseLocked(shard, deniedAlert(ev))
+		return
+	}
+	transition, matched := m.index.match(cursor, ev)
+	if !matched {
+		stats.Unmodelled++
+		m.raiseLocked(shard, unmodelledAlert(ev, cursor))
+		return
+	}
+	shard.cursors[ev.UserID] = transition.To
+	stats.Matched++
+	if finding, ok := shard.findings[ev.UserID][findingKey{tr: transition, actor: ev.Actor}]; ok &&
+		finding.Risk >= m.alertAt {
+		stats.RiskAlerts++
+		m.raiseLocked(shard, riskAlert(ev, finding))
 	}
 }

@@ -5,58 +5,13 @@ import (
 	"reflect"
 	"testing"
 
-	"privascope/internal/core"
 	"privascope/internal/lts"
 	"privascope/internal/proptest"
 	"privascope/internal/proptest/scenario"
 	"privascope/internal/runtime"
 	"privascope/internal/service"
+	"privascope/internal/synth"
 )
-
-// randomEventStream draws a per-user event stream from the scenario's model:
-// mostly random walks along the LTS (events that match transitions), mixed
-// with unmodelled operations and denied operations, interleaved across
-// users round-robin so every shard assignment sees the same per-user order.
-func randomEventStream(rng *rand.Rand, p *core.PrivacyLTS, users []string, perUser int) []service.Event {
-	streams := make([][]service.Event, len(users))
-	for u, id := range users {
-		cursor := p.InitialState()
-		for len(streams[u]) < perUser {
-			outs := p.Graph.Outgoing(cursor)
-			switch {
-			case len(outs) > 0 && rng.Float64() < 0.8:
-				tr := outs[rng.Intn(len(outs))]
-				label := core.LabelOf(tr)
-				streams[u] = append(streams[u], service.Event{
-					Actor: label.Actor, Action: label.Action, Datastore: label.Datastore,
-					Service: label.Service, Purpose: label.Purpose,
-					UserID: id, Fields: label.FieldSet(),
-				})
-				cursor = tr.To
-			default:
-				// Noise: an operation the model does not declare, sometimes
-				// denied by the policy before it took effect.
-				actor := p.Vocab.Actors()[rng.Intn(len(p.Vocab.Actors()))]
-				field := p.Vocab.Fields()[rng.Intn(len(p.Vocab.Fields()))]
-				store := ""
-				if n := len(p.Model.Datastores); n > 0 {
-					store = p.Model.Datastores[rng.Intn(n)].ID
-				}
-				streams[u] = append(streams[u], service.Event{
-					Actor: actor, Action: core.ActionRead, Datastore: store,
-					UserID: id, Fields: []string{field}, Denied: rng.Intn(4) == 0,
-				})
-			}
-		}
-	}
-	var out []service.Event
-	for i := 0; i < perUser; i++ {
-		for u := range users {
-			out = append(out, streams[u][i])
-		}
-	}
-	return out
-}
 
 // comparableAlert is an Alert minus its unexported cross-shard sequence
 // number, which legitimately differs between shard layouts.
@@ -115,7 +70,7 @@ func TestPropMonitorShardCountIndependence(t *testing.T) {
 		// At least observeBatchThreshold events, so multi-shard monitors
 		// take the parallel fan-out path.
 		perUser := 1 + (48+len(users)-1)/len(users)
-		stream := randomEventStream(rng, p, users, perUser)
+		stream := synth.RandomEventStream(rng, p, users, perUser)
 
 		type result struct {
 			perUserObs    map[string][]comparableObservation

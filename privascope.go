@@ -398,6 +398,9 @@ type (
 	MonitorConfig = runtime.Config
 	// Alert is a notification raised by the monitor.
 	Alert = runtime.Alert
+	// MonitorIngestStats aggregates the counts of Monitor.IngestBatch, the
+	// high-throughput ingestion path behind internal/cluster.
+	MonitorIngestStats = runtime.IngestStats
 
 	// Report is a renderable analysis report.
 	Report = report.Report
