@@ -11,7 +11,7 @@ BENCH ?= .
 BENCHTIME ?= 2s
 # The benchmarks CI smokes on every push: the headline number of each
 # subsystem plus the compiled-vs-reference pairs this PR introduced.
-SMOKE_BENCH = LTSGeneration|MonitorThroughput|ValueRiskPipeline|EngineAssessCached|AnalyzeCompiled|AnalyzeReference|MinimizeCompiled|MinimizeReference|ModelStoreLoad|ClusterIngest
+SMOKE_BENCH = LTSGeneration|MonitorThroughput|ValueRiskPipeline|EngineAssessCached|AnalyzeCompiled|AnalyzeReference|MinimizeCompiled|MinimizeReference|ModelStoreLoad|ClusterIngest|ExploreSymmetry|ExploreIncremental
 # BASELINE is the perf-gate reference. It must be a like-for-like snapshot:
 # per-op numbers from a 1-iteration smoke run include un-amortised setup, so
 # they can only be compared against another 1-iteration run — never against
@@ -30,11 +30,12 @@ THRESHOLD_PCT ?= 25
 # -proptest.* flags, so soak runs must enumerate them instead of using ./...
 PROP_PACKAGES = . ./internal/proptest ./internal/proptest/scenario ./internal/synth \
 	./internal/core ./internal/lts ./internal/risk ./internal/anonymize \
-	./internal/pseudorisk ./internal/runtime ./internal/modelstore ./internal/cluster
+	./internal/pseudorisk ./internal/runtime ./internal/modelstore ./internal/cluster \
+	./internal/explore
 ROUNDS ?= 64
 FUZZTIME ?= 30s
 
-.PHONY: build test vet bench bench-smoke bench-compare test-props fuzz cache-clean
+.PHONY: build test vet bench bench-smoke bench-compare explore-bench test-props fuzz cache-clean
 
 build:
 	$(GO) build ./...
@@ -74,6 +75,12 @@ bench-compare:
 	@echo "comparing against $(BASELINE)"
 	$(GO) run ./cmd/benchjson -compare -threshold-pct $(THRESHOLD_PCT) -metrics '$(COMPARE_METRICS)' $(BASELINE) BENCH_ci.json
 
+# explore-bench runs just the exploration-strategy benchmarks (symmetry
+# quotient vs full, cold vs incremental regeneration) with allocation stats —
+# the quick loop for tuning the internal/explore subsystem.
+explore-bench:
+	$(GO) test -run='^$$' -bench='ExploreSymmetry|ExploreIncremental' -benchmem -benchtime=$(BENCHTIME) .
+
 # test-props soaks the property suites with more rounds per property than the
 # bounded default that plain `go test ./...` runs (ROUNDS=64, override at
 # will). A failure prints the exact `-proptest.seed=N` one-liner to replay it.
@@ -90,6 +97,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPolicyConstruction -fuzztime=$(FUZZTIME) ./internal/accesscontrol
 	$(GO) test -run='^$$' -fuzz=FuzzStoreDecode -fuzztime=$(FUZZTIME) ./internal/modelstore
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) ./internal/cluster
+	$(GO) test -run='^$$' -fuzz=FuzzModelDelta -fuzztime=$(FUZZTIME) ./internal/explore
 
 # cache-clean removes local persistent model-cache directories (the -model-cache
 # registries the CLIs and examples write next to the repo).

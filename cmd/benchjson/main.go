@@ -227,6 +227,48 @@ func parseMetricSpecs(list string, defaultPct float64) ([]metricSpec, error) {
 	return specs, nil
 }
 
+// repairSuffixDrift pairs benchmarks whose keys drifted by a trailing
+// "-<digits>" between the two documents. parse's uniform-GOMAXPROCS-suffix
+// heuristic can strip a subtest's own "-<digits>" tail in one run but not the
+// other (a run holding a single worker-sweep subtest makes any suffix
+// trivially uniform), so the same benchmark lands under different keys and a
+// naive key match silently drops it from the gate. Keys absent from the
+// other document are matched on their canonical form — the key minus any
+// trailing "-<digits>" — and paired only when the match is one-to-one; an
+// ambiguous class (several sweep members collapsing onto one canonical name)
+// maps to "" so the caller reports it instead of guessing a wrong pairing.
+// The result maps each unmatched old key to its new-side partner or "".
+func repairSuffixDrift(oldResults, newResults map[string]entry) map[string]string {
+	canonOf := func(name string) string { return strings.TrimSuffix(name, procsSuffix(name)) }
+	oldByCanon := make(map[string][]string)
+	for name := range oldResults {
+		if _, ok := newResults[name]; !ok {
+			oldByCanon[canonOf(name)] = append(oldByCanon[canonOf(name)], name)
+		}
+	}
+	newByCanon := make(map[string][]string)
+	for name := range newResults {
+		if _, ok := oldResults[name]; !ok {
+			newByCanon[canonOf(name)] = append(newByCanon[canonOf(name)], name)
+		}
+	}
+	repaired := make(map[string]string)
+	for canon, oldNames := range oldByCanon {
+		newNames := newByCanon[canon]
+		if len(newNames) == 0 {
+			continue // genuinely removed; the caller SKIPs it
+		}
+		if len(oldNames) == 1 && len(newNames) == 1 && oldNames[0] != newNames[0] {
+			repaired[oldNames[0]] = newNames[0]
+			continue
+		}
+		for _, name := range oldNames {
+			repaired[name] = ""
+		}
+	}
+	return repaired
+}
+
 // loadResults reads one benchmark JSON document.
 func loadResults(path string) (map[string]entry, error) {
 	data, err := os.ReadFile(path)
@@ -266,14 +308,24 @@ func compare(w io.Writer, oldResults, newResults map[string]entry, specs []metri
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	repaired := repairSuffixDrift(oldResults, newResults)
 
 	regressed := false
 	for _, name := range names {
 		oldEntry := oldResults[name]
 		newEntry, ok := newResults[name]
 		if !ok {
-			fmt.Fprintf(w, "SKIP  %s: absent from new results\n", name)
-			continue
+			if partner, rep := repaired[name]; rep {
+				if partner == "" {
+					fmt.Fprintf(w, "MISS  %s: absent from new results, -<digits> re-pairing ambiguous\n", name)
+					continue
+				}
+				fmt.Fprintf(w, "PAIR  %s ~ %s (re-paired modulo trailing -<digits>)\n", name, partner)
+				newEntry = newResults[partner]
+			} else {
+				fmt.Fprintf(w, "SKIP  %s: absent from new results\n", name)
+				continue
+			}
 		}
 		for _, spec := range specs {
 			oldValue, okOld := oldEntry.Metrics[spec.name]
@@ -304,9 +356,15 @@ func compare(w io.Writer, oldResults, newResults map[string]entry, specs []metri
 				status, name, spec.name, oldValue, newValue, deltaPct, spec.thresholdPct)
 		}
 	}
+	consumed := make(map[string]bool, len(repaired))
+	for _, partner := range repaired {
+		if partner != "" {
+			consumed[partner] = true
+		}
+	}
 	var added []string
 	for name := range newResults {
-		if _, ok := oldResults[name]; !ok {
+		if _, ok := oldResults[name]; !ok && !consumed[name] {
 			added = append(added, name)
 		}
 	}

@@ -262,3 +262,51 @@ BenchmarkMinimizeCompiled-8  100  1500000 ns/op  1000 B/op  100 allocs/op
 		t.Fatal("compareFiles accepted a missing baseline")
 	}
 }
+
+// TestCompareRepairsSuffixDrift: parse's uniform-GOMAXPROCS-suffix heuristic
+// can strip a worker-sweep subtest's trailing "-<digits>" in one run but not
+// the other (a single-subtest smoke run makes any suffix trivially uniform),
+// so the same benchmark lands under drifting keys in the two documents. The
+// gate must re-pair such keys modulo the trailing "-<digits>" instead of
+// silently SKIP/NEW-ing the benchmark out of the comparison — here a 100%
+// states/sec-adjacent ns/op regression that a naive key match would miss.
+func TestCompareRepairsSuffixDrift(t *testing.T) {
+	old := map[string]entry{
+		"pkg.BenchmarkLTSGenerationParallel/workers-16": bench(1000, 10),
+	}
+	new_ := map[string]entry{
+		// Same benchmark, suffix stripped in the new run; metrics regressed.
+		"pkg.BenchmarkLTSGenerationParallel/workers": bench(2000, 10),
+	}
+	specs := []metricSpec{{name: "ns/op", thresholdPct: 20}}
+	var out strings.Builder
+	if !compare(&out, old, new_, specs) {
+		t.Fatalf("suffix-drifted regression slipped past the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "pkg.BenchmarkLTSGenerationParallel/workers-16") ||
+		!strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("report does not show the re-paired comparison:\n%s", out.String())
+	}
+}
+
+// TestCompareAmbiguousSuffixDriftDoesNotMisalign: when several old keys
+// collapse onto the same canonical name (a sweep with changed membership),
+// re-pairing is ambiguous and must NOT guess — the gate emits MISS lines and
+// stays green rather than comparing, say, workers-1 against workers-16.
+func TestCompareAmbiguousSuffixDriftDoesNotMisalign(t *testing.T) {
+	old := map[string]entry{
+		"pkg.BenchmarkLTSGenerationParallel/workers-1":  bench(16000, 10),
+		"pkg.BenchmarkLTSGenerationParallel/workers-16": bench(1000, 10),
+	}
+	new_ := map[string]entry{
+		"pkg.BenchmarkLTSGenerationParallel/workers": bench(1050, 10),
+	}
+	specs := []metricSpec{{name: "ns/op", thresholdPct: 20}}
+	var out strings.Builder
+	if compare(&out, old, new_, specs) {
+		t.Fatalf("ambiguous re-pairing gated (misaligned pair):\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "MISS") {
+		t.Fatalf("ambiguous drift not reported as MISS:\n%s", out.String())
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"privascope/internal/core"
 	"privascope/internal/dataflow"
+	"privascope/internal/explore"
 	"privascope/internal/flight"
 	"privascope/internal/modelstore"
 	"privascope/internal/risk"
@@ -30,6 +31,16 @@ type EngineOptions struct {
 	// engines and future processes share it. Corrupt or stale artifacts are
 	// detected (checksummed, fingerprint-verified) and regenerated.
 	CacheDir string
+	// Incremental makes the engine keep the exploration trace of its most
+	// recent generation and regenerate the next model incrementally from it
+	// (core.Generator.RegenerateContext): when the new model differs from the
+	// previous one only in metadata or access policy, exploration replays the
+	// stored trace and recomputes just the affected potential reads; any
+	// structural change falls back to a full generation. The result is
+	// byte-identical to a cold generation either way. Intended for
+	// edit-analyse loops where consecutive models are near-identical
+	// (policy tuning, what-if analysis).
+	Incremental bool
 }
 
 // Engine is a long-lived, concurrency-safe analysis session: the
@@ -61,8 +72,18 @@ type Engine struct {
 	assessments *risk.AssessmentCache
 	models      flight.Group[string, *core.PrivacyLTS]
 	store       *modelstore.Store
+	generator   *core.Generator
+	lastGen     atomic.Pointer[lastGeneration]
 	generations atomic.Int64
 	loads       atomic.Int64
+	incremental atomic.Int64
+}
+
+// lastGeneration is the replay seed kept by an incremental engine: the most
+// recently generated model together with its exploration trace.
+type lastGeneration struct {
+	p     *core.PrivacyLTS
+	trace *explore.Result
 }
 
 // NewEngine builds an engine, validating the risk configuration up front and
@@ -76,7 +97,8 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{opts: opts, analyzer: analyzer, assessments: cache}
+	e := &Engine{opts: opts, analyzer: analyzer, assessments: cache,
+		generator: core.NewGenerator(opts.Generate)}
 	if opts.CacheDir != "" {
 		store, err := modelstore.Open(opts.CacheDir)
 		if err != nil {
@@ -148,9 +170,27 @@ func (e *Engine) model(ctx context.Context, m *Model) (p *PrivacyModel, cacheabl
 	return p, true, err
 }
 
-// generate runs one instrumented LTS generation.
+// generate runs one instrumented LTS generation. With
+// EngineOptions.Incremental it regenerates from the engine's last exploration
+// trace where the model delta allows, and reseeds the trace either way.
 func (e *Engine) generate(ctx context.Context, m *Model) (*PrivacyModel, error) {
 	e.generations.Add(1)
+	if e.opts.Incremental {
+		var prev *core.PrivacyLTS
+		var trace *explore.Result
+		if seed := e.lastGen.Load(); seed != nil {
+			prev, trace = seed.p, seed.trace
+		}
+		p, newTrace, report, err := e.generator.RegenerateContext(ctx, prev, trace, m)
+		if err != nil {
+			return nil, fmt.Errorf("privascope: generating privacy model: %w", err)
+		}
+		if !report.Fallback {
+			e.incremental.Add(1)
+		}
+		e.lastGen.Store(&lastGeneration{p: p, trace: newTrace})
+		return p, nil
+	}
 	p, err := core.GenerateWithOptionsContext(ctx, m, e.opts.Generate)
 	if err != nil {
 		return nil, fmt.Errorf("privascope: generating privacy model: %w", err)
@@ -242,6 +282,11 @@ func (e *Engine) Generations() int64 { return e.generations.Load() }
 // registry makes a cold-started engine report Generations() == 0 and
 // Loads() > 0. Always zero when no CacheDir was configured.
 func (e *Engine) Loads() int64 { return e.loads.Load() }
+
+// IncrementalHits returns how many generations an incremental engine served
+// by replaying its previous exploration trace instead of exploring from
+// scratch. Always zero when EngineOptions.Incremental is off.
+func (e *Engine) IncrementalHits() int64 { return e.incremental.Load() }
 
 // CachedModels returns the number of distinct model fingerprints currently
 // cached (in-flight generations included).

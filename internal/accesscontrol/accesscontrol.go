@@ -200,9 +200,16 @@ func (a *ACL) Actors() []string {
 	return out
 }
 
-// Allows implements Policy.
+// Allows implements Policy. Unlike Explain it never formats a reason, so
+// bulk callers (policy diffs, compilation) stay allocation-free.
 func (a *ACL) Allows(actor, datastore, field string, perm Permission) bool {
-	return a.Explain(actor, datastore, field, perm).Allowed
+	for i := range a.grants {
+		g := &a.grants[i]
+		if g.Actor == actor && g.Datastore == datastore && g.covers(field) && g.hasPermission(perm) {
+			return true
+		}
+	}
+	return false
 }
 
 // Explain implements Policy.
@@ -383,7 +390,14 @@ func (r *RBAC) Actors() []string {
 
 // Allows implements Policy.
 func (r *RBAC) Allows(actor, datastore, field string, perm Permission) bool {
-	return r.Explain(actor, datastore, field, perm).Allowed
+	for _, roleName := range r.assignments[actor] {
+		for _, g := range r.roles[roleName].Grants {
+			if g.Datastore == datastore && g.covers(field) && g.hasPermission(perm) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Explain implements Policy.

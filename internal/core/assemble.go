@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"strconv"
+	"sync"
+
+	"privascope/internal/explore"
+	"privascope/internal/lts"
+	"privascope/internal/schema"
+)
+
+// assemble materialises the PrivacyLTS payload — state IDs, public vectors,
+// decoded store contents, and the transition graph — from a finished
+// exploration result. The per-state products are batch-allocated: one slab
+// holds every public vector, store contents are decoded once per distinct
+// store-segment image and shared between states (the maps are read-only
+// through the PrivacyLTS API), and the graph is bulk-built via lts.FromParts.
+func assemble(ctx context.Context, p *PrivacyLTS, cm *compiledModel, res *explore.Result, workers int) error {
+	n := res.NumStates
+	w := res.Words
+	hasWords := cm.codec.hasWords
+
+	ids := make([]lts.StateID, n)
+	var idBuf []byte
+	for i := range ids {
+		idBuf = append(idBuf[:0], 's')
+		idBuf = strconv.AppendInt(idBuf, int64(i), 10)
+		ids[i] = lts.StateID(idBuf)
+	}
+
+	vecSlab := make([]uint64, n*hasWords)
+	if err := fillVectors(ctx, cm, res, vecSlab, workers); err != nil {
+		return err
+	}
+
+	p.vectors = make(map[lts.StateID]StateVector, n)
+	p.stores = make(map[lts.StateID]map[string]schema.FieldSet, n)
+	storeSegLo, storeSegHi := hasWords, cm.codec.ctrlBase
+	storeCache := make(map[string]map[string]schema.FieldSet)
+	var keyBuf []byte
+	for i := 0; i < n; i++ {
+		id := ids[i]
+		lo, hi := i*hasWords, (i+1)*hasWords
+		p.vectors[id] = StateVector{words: vecSlab[lo:hi:hi], vocab: cm.vocab}
+
+		base := i * w
+		keyBuf = keyBuf[:0]
+		for _, word := range res.States[base+storeSegLo : base+storeSegHi] {
+			keyBuf = binary.LittleEndian.AppendUint64(keyBuf, word)
+		}
+		sm, ok := storeCache[string(keyBuf)]
+		if !ok {
+			sm = cm.decodeStores(res.StateWords(int32(i)))
+			storeCache[string(keyBuf)] = sm
+		}
+		p.stores[id] = sm
+	}
+
+	bulk := make([]lts.BulkEdge, len(res.Edges))
+	for i := range res.Edges {
+		e := &res.Edges[i]
+		bulk[i] = lts.BulkEdge{From: e.From, To: e.To, Label: e.Label}
+	}
+	graph, err := lts.FromParts(ids, 0, bulk)
+	if err != nil {
+		return err
+	}
+	p.Graph = graph
+	return nil
+}
+
+// fillVectors computes every state's public vector into the shared slab,
+// splitting the state range across workers (the computation is per-state
+// independent). Cancellation is polled every few thousand states.
+func fillVectors(ctx context.Context, cm *compiledModel, res *explore.Result, vecSlab []uint64, workers int) error {
+	n := res.NumStates
+	hasWords := cm.codec.hasWords
+	fill := func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if i&4095 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			cm.publicVectorInto(res.StateWords(int32(i)), vecSlab[i*hasWords:(i+1)*hasWords])
+		}
+		return nil
+	}
+	if workers <= 1 || n < 4096 {
+		return fill(0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fill(lo, hi) //nolint:errcheck // the join below re-checks ctx
+		}(lo, hi)
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -6,7 +6,6 @@ import (
 
 	"privascope/internal/accesscontrol"
 	"privascope/internal/dataflow"
-	"privascope/internal/lts"
 	"privascope/internal/schema"
 )
 
@@ -286,147 +285,22 @@ func (cm *compiledModel) enabled(cf *compiledFlow, ps packedState) bool {
 	return true
 }
 
-// applyFlow computes the successor state after the flow fires.
-func (cm *compiledModel) applyFlow(ps packedState, cf *compiledFlow) packedState {
-	next := ps.clone()
-	for _, wm := range cf.setHas {
-		next[wm.word] |= wm.mask
-	}
-	if cf.storeIdx >= 0 {
-		base := cm.codec.storeBase(cf.storeIdx)
-		if cf.action == ActionDelete {
-			for w, m := range cf.storeClear {
-				next[base+w] &^= m
-			}
-		} else {
-			for w, m := range cf.storeOr {
-				next[base+w] |= m
-			}
-		}
-	}
-	if cm.codec.ordering == OrderDataDriven {
-		cm.codec.setFired(next, cf.flowIdx)
-	} else {
-		cm.codec.bumpProgress(next, cf.svcIdx)
-	}
-	return next
-}
-
-// candidate is one successor discovered while expanding a state: everything
-// the deterministic merge needs to register the transition (and, for states
-// not yet in the visited set, the speculatively precomputed per-state data,
-// so the expensive work happens on the worker).
-type candidate struct {
-	key      string
-	label    *TransitionLabel
-	state    packedState
-	vec      StateVector
-	stores   map[string]schema.FieldSet
-	known    bool
-	knownID  lts.StateID
-	terminal bool
-}
-
-// expand computes every successor of the state, in the deterministic
-// enumeration order: declared flows (services in order, then flow order),
-// then potential reads (stores in order, readers in actor order). Successors
-// already present in the visited set are returned as references; new ones
-// carry their packed state, public vector and decoded store contents.
-func (cm *compiledModel) expand(ps packedState, visited *visitedSet, mode PotentialReadMode) []candidate {
-	var out []candidate
-	emit := func(next packedState, label *TransitionLabel, terminal bool) {
-		key := cm.codec.keyOf(next)
-		if id, ok := visited.lookup(key); ok {
-			out = append(out, candidate{key: key, label: label, known: true, knownID: id, terminal: terminal})
-			return
-		}
-		out = append(out, candidate{
-			key:      key,
-			label:    label,
-			state:    next,
-			vec:      cm.publicVector(next),
-			stores:   cm.decodeStores(next),
-			terminal: terminal,
-		})
-	}
-
-	if cm.codec.ordering == OrderDataDriven {
-		for i := range cm.flows {
-			cf := &cm.flows[i]
-			if cm.codec.fired(ps, cf.flowIdx) || !cm.enabled(cf, ps) {
-				continue
-			}
-			emit(cm.applyFlow(ps, cf), cf.label, false)
-		}
-	} else {
-		for svcIdx := range cm.services {
-			svc := &cm.services[svcIdx]
-			idx := cm.codec.progress(ps, svcIdx)
-			if idx >= len(svc.flowIdxs) {
-				continue
-			}
-			cf := &cm.flows[svc.flowIdxs[idx]]
-			if !cm.enabled(cf, ps) {
-				continue
-			}
-			emit(cm.applyFlow(ps, cf), cf.label, false)
-		}
-	}
-
-	if mode == PotentialReadsOff {
-		return out
-	}
-	terminal := mode == PotentialReadsTerminal
-	for si := range cm.stores {
-		cs := &cm.stores[si]
-		empty := true
-		for w := 0; w < cm.codec.storeWords; w++ {
-			if ps[cs.base+w] != 0 {
-				empty = false
-				break
-			}
-		}
-		if empty {
-			continue
-		}
-		for ri := range cs.readers {
-			r := &cs.readers[ri]
-			var fields []string
-			for _, rf := range r.fields {
-				if ps[cs.base+rf.word]&rf.mask == 0 {
-					continue // field not in the store
-				}
-				if rf.has.mask != 0 && ps[rf.has.word]&rf.has.mask != 0 {
-					continue // actor already identified it
-				}
-				fields = append(fields, rf.name)
-			}
-			if len(fields) == 0 {
-				continue
-			}
-			next := ps.clone()
-			for _, rf := range r.fields {
-				if next[cs.base+rf.word]&rf.mask != 0 {
-					next[rf.has.word] |= rf.has.mask
-				}
-			}
-			label := NewTransitionLabel(ActionRead, r.actor, fields)
-			label.Datastore = cs.id
-			label.Potential = true
-			emit(next, label, terminal)
-		}
-	}
-	return out
-}
-
 // publicVector builds the externally-visible privacy state vector of a packed
 // state: the accumulated has bits, each implying its could bit, plus the
 // could bits derived from policy-readable datastore contents.
 func (cm *compiledModel) publicVector(ps packedState) StateVector {
 	vec := StateVector{words: make([]uint64, cm.codec.hasWords), vocab: cm.vocab}
-	copy(vec.words, ps[:cm.codec.hasWords])
-	for i, w := range vec.words {
-		vec.words[i] = w | (w&evenBits)<<1
+	cm.publicVectorInto(ps, vec.words)
+	return vec
+}
+
+// publicVectorInto computes the public vector into a caller-provided word
+// slice of length codec.hasWords (the batch assembly writes into a shared
+// slab).
+func (cm *compiledModel) publicVectorInto(ps packedState, words []uint64) {
+	copy(words, ps[:cm.codec.hasWords])
+	for i, w := range words {
+		words[i] = w | (w&evenBits)<<1
 	}
 	for si := range cm.stores {
 		cs := &cm.stores[si]
@@ -435,13 +309,12 @@ func (cm *compiledModel) publicVector(ps packedState) StateVector {
 			for remaining != 0 {
 				fieldIdx := w*64 + bits.TrailingZeros64(remaining)
 				for _, wm := range cs.couldByField[fieldIdx] {
-					vec.words[wm.word] |= wm.mask
+					words[wm.word] |= wm.mask
 				}
 				remaining &= remaining - 1
 			}
 		}
 	}
-	return vec
 }
 
 // decodeStores materialises the datastore contents of a packed state as the

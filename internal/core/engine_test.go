@@ -2,11 +2,8 @@ package core
 
 import (
 	"encoding/json"
-	"fmt"
 	"strings"
 	"testing"
-
-	"privascope/internal/lts"
 )
 
 // digestOf serialises the complete generated model (state IDs and variables,
@@ -116,25 +113,6 @@ func TestGenerateMaxStatesParallel(t *testing.T) {
 		_, err := GenerateWithOptions(clinicModel(t), Options{MaxStates: 2, Workers: workers})
 		if err == nil || !strings.Contains(err.Error(), "state space") {
 			t.Errorf("workers=%d: expected state-space error, got %v", workers, err)
-		}
-	}
-}
-
-// TestVisitedSetSharding exercises the sharded visited map directly: keys
-// land on stable shards and lookups see prior inserts.
-func TestVisitedSetSharding(t *testing.T) {
-	v := newVisitedSet()
-	keys := []string{"", "a", "ab", strings.Repeat("x", 100), "\x00\x01\x02"}
-	for i, k := range keys {
-		if _, ok := v.lookup(k); ok {
-			t.Fatalf("key %q present before insert", k)
-		}
-		v.insert(k, lts.StateID(fmt.Sprintf("s%d", i)))
-	}
-	for i, k := range keys {
-		id, ok := v.lookup(k)
-		if !ok || string(id) != fmt.Sprintf("s%d", i) {
-			t.Errorf("lookup(%q) = %q, %v", k, id, ok)
 		}
 	}
 }

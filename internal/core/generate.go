@@ -6,13 +6,10 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"strconv"
-	"sync"
-	"sync/atomic"
 
 	"privascope/internal/accesscontrol"
 	"privascope/internal/dataflow"
-	"privascope/internal/lts"
+	"privascope/internal/explore"
 	"privascope/internal/schema"
 )
 
@@ -72,6 +69,45 @@ type Options struct {
 	// generation concurrently, and their discoveries are merged
 	// deterministically in frontier order.
 	Workers int
+	// Explore selects the exploration strategy (see internal/explore); the
+	// zero value is plain full exploration. Every strategy produces the same
+	// PrivacyLTS byte for byte — the knobs only change how much work it takes.
+	Explore ExploreOptions
+}
+
+// ExploreOptions are the exploration-strategy knobs of Options.
+type ExploreOptions struct {
+	// Symmetry enables symmetry reduction: actors that are exact structural
+	// replicas of each other (same flow shapes, same policy grants) are
+	// detected, the state space is first explored modulo permutations of each
+	// replica group, and the full LTS is then regenerated from that quotient.
+	// When the model has no provable symmetry the option is a no-op.
+	Symmetry bool
+}
+
+// ExploreReport describes how a generation run explored the state space; it
+// is diagnostic output, not part of the LTS.
+type ExploreReport struct {
+	// Mode is "full", "symmetry", or "replay" (incremental regeneration).
+	Mode string
+	// States is the number of states of the generated LTS; StatesExplored is
+	// the number of state expansions the final pass performed.
+	States         int
+	StatesExplored int
+
+	// Symmetry-mode fields: the quotient size and the orbit structure.
+	CanonicalStates int
+	Orbits          int
+	OrbitActors     int
+
+	// Replay-mode fields: how many states could not reuse the previous run's
+	// successors and fell back to cold expansion, and what the model delta
+	// looked like.
+	ColdExpanded    int
+	Fallback        bool
+	FallbackReason  string
+	DeltaKind       string
+	AffectedReaders int
 }
 
 func (o Options) withDefaults() Options {
@@ -88,57 +124,6 @@ func (o Options) withDefaults() Options {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
-}
-
-// visitedShardCount is the number of shards of the visited set; a power of
-// two so the hash maps to a shard with a mask.
-const visitedShardCount = 64
-
-// visitedSet is the sharded map of explored state keys. Workers look
-// candidate successors up concurrently (read locks on the key's shard) to
-// decide whether to precompute per-state data; only the single-threaded merge
-// phase inserts. Sharding keeps the per-map load small and the lock windows
-// independent.
-type visitedSet struct {
-	shards [visitedShardCount]visitedShard
-}
-
-type visitedShard struct {
-	mu sync.RWMutex
-	m  map[string]lts.StateID
-}
-
-func newVisitedSet() *visitedSet {
-	v := &visitedSet{}
-	for i := range v.shards {
-		v.shards[i].m = make(map[string]lts.StateID)
-	}
-	return v
-}
-
-// shardFor hashes the key (FNV-1a) onto its shard.
-func (v *visitedSet) shardFor(key string) *visitedShard {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 1099511628211
-	}
-	return &v.shards[h&(visitedShardCount-1)]
-}
-
-func (v *visitedSet) lookup(key string) (lts.StateID, bool) {
-	s := v.shardFor(key)
-	s.mu.RLock()
-	id, ok := s.m[key]
-	s.mu.RUnlock()
-	return id, ok
-}
-
-func (v *visitedSet) insert(key string, id lts.StateID) {
-	s := v.shardFor(key)
-	s.mu.Lock()
-	s.m[key] = id
-	s.mu.Unlock()
 }
 
 // Generator builds privacy LTSs from data-flow models. A single Generator
@@ -183,13 +168,14 @@ func (g *Generator) Generate(m *dataflow.Model) (*PrivacyLTS, error) {
 
 // GenerateContext builds the privacy LTS for the model.
 //
-// Exploration is a level-synchronised parallel BFS over a compact binary
-// state encoding: the model is compiled once (per-flow gate and effect
-// masks, potential-read tables), each frontier generation is expanded by
-// Options.Workers goroutines that hash candidate successors into a sharded
-// visited set, and the discoveries are merged on one goroutine in frontier
-// order, which makes state numbering and transition order deterministic
-// regardless of the worker count.
+// Exploration is delegated to the internal/explore driver: a
+// level-synchronised parallel BFS over a compact binary state encoding. The
+// model is compiled once (per-flow gate and effect masks, potential-read
+// tables), each frontier generation is expanded by Options.Workers goroutines
+// into per-worker arenas, and the discoveries are merged on one goroutine in
+// frontier order, which makes state numbering and transition order
+// deterministic regardless of the worker count — and regardless of the
+// exploration strategy selected by Options.Explore.
 //
 // Cancellation is observed at state granularity: every exploration worker
 // polls ctx before expanding each frontier state and the merge loop polls it
@@ -197,6 +183,31 @@ func (g *Generator) Generate(m *dataflow.Model) (*PrivacyLTS, error) {
 // ctx.Err() promptly, with every worker goroutine joined before the call
 // returns (none leak).
 func (g *Generator) GenerateContext(ctx context.Context, m *dataflow.Model) (*PrivacyLTS, error) {
+	p, _, _, err := g.generate(ctx, m)
+	return p, err
+}
+
+// GenerateTracedContext is GenerateContext, additionally returning the
+// exploration trace (the input of incremental regeneration, see
+// RegenerateContext) and a report describing how the state space was
+// explored.
+func (g *Generator) GenerateTracedContext(ctx context.Context, m *dataflow.Model) (*PrivacyLTS, *explore.Result, *ExploreReport, error) {
+	return g.generate(ctx, m)
+}
+
+// prepared carries the outcome of the shared generation preamble: the
+// validated model compiled against its vocabulary, and the PrivacyLTS shell
+// with the policy warnings already recorded.
+type prepared struct {
+	p  *PrivacyLTS
+	cm *compiledModel
+}
+
+// prepare runs the generation preamble shared by full generation and
+// incremental regeneration: validation, vocabulary construction, policy
+// warnings, the encoding-limit check, and model compilation. Every path
+// produces identical warnings and errors for the same model.
+func (g *Generator) prepare(m *dataflow.Model) (*prepared, error) {
 	if m == nil {
 		return nil, errors.New("core: model must not be nil")
 	}
@@ -204,13 +215,7 @@ func (g *Generator) GenerateContext(ctx context.Context, m *dataflow.Model) (*Pr
 		return nil, fmt.Errorf("core: invalid model: %w", err)
 	}
 	vocab := VocabularyFromModel(m)
-	p := &PrivacyLTS{
-		Model:   m,
-		Vocab:   vocab,
-		Graph:   lts.New(),
-		vectors: make(map[lts.StateID]StateVector),
-		stores:  make(map[lts.StateID]map[string]schema.FieldSet),
-	}
+	p := &PrivacyLTS{Model: m, Vocab: vocab}
 	policy := m.Policy
 	if policy == nil {
 		policy = &accesscontrol.ACL{}
@@ -225,116 +230,49 @@ func (g *Generator) GenerateContext(ctx context.Context, m *dataflow.Model) (*Pr
 			return nil, fmt.Errorf("core: service %q has %d flows; the exploration encoding supports at most %d per service", svcID, n, 0xffff)
 		}
 	}
-
-	cm := compileModel(m, policy, vocab, g.opts.FlowOrdering)
-	visited := newVisitedSet()
-
-	initial := cm.codec.newState()
-	initID := lts.StateID("s0")
-	visited.insert(cm.codec.keyOf(initial), initID)
-	p.Graph.AddState(initID, nil)
-	p.Graph.SetInitial(initID)
-	p.vectors[initID] = cm.publicVector(initial)
-	p.stores[initID] = cm.decodeStores(initial)
-	stateCount := 1
-
-	frontier := []packedState{initial}
-	frontierIDs := []lts.StateID{initID}
-
-	for len(frontier) > 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		// Expansion phase: workers grab frontier states and compute their
-		// successor candidates, including (speculatively, for states not yet
-		// in the visited set) the public vector and store contents.
-		results := make([][]candidate, len(frontier))
-		if err := g.expandFrontier(ctx, cm, visited, frontier, results); err != nil {
-			return nil, err
-		}
-
-		// Merge phase: single-threaded, in frontier order, so registration
-		// order — and with it every state ID — is deterministic.
-		var nextFrontier []packedState
-		var nextIDs []lts.StateID
-		for i, cands := range results {
-			if stateCount > g.opts.MaxStates {
-				return nil, fmt.Errorf("%w (limit %d)", ErrStateSpaceTooLarge, g.opts.MaxStates)
-			}
-			from := frontierIDs[i]
-			for _, c := range cands {
-				id := c.knownID
-				isNew := false
-				if !c.known {
-					if existing, ok := visited.lookup(c.key); ok {
-						// Discovered earlier in this same generation.
-						id = existing
-					} else {
-						id = lts.StateID("s" + strconv.Itoa(stateCount))
-						visited.insert(c.key, id)
-						stateCount++
-						p.Graph.AddState(id, nil)
-						p.vectors[id] = c.vec
-						p.stores[id] = c.stores
-						isNew = true
-					}
-				}
-				p.Graph.AddTransitionUnchecked(from, id, c.label)
-				if isNew && !c.terminal {
-					nextFrontier = append(nextFrontier, c.state)
-					nextIDs = append(nextIDs, id)
-				}
-			}
-		}
-		frontier, frontierIDs = nextFrontier, nextIDs
-	}
-	return p, nil
+	return &prepared{p: p, cm: compileModel(m, policy, vocab, g.opts.FlowOrdering)}, nil
 }
 
-// expandFrontier distributes the frontier over the worker pool; results[i]
-// receives the candidates of frontier[i]. Workers poll ctx before expanding
-// each state and the pool is always joined before returning, so cancellation
-// is prompt and leaks nothing; the partially-filled results are discarded by
-// the caller when an error is returned.
-func (g *Generator) expandFrontier(ctx context.Context, cm *compiledModel, visited *visitedSet, frontier []packedState, results [][]candidate) error {
-	workers := g.opts.Workers
-	if workers > len(frontier) {
-		workers = len(frontier)
-	}
-	if workers <= 1 {
-		for i, ps := range frontier {
-			if i&cancelCheckMask == 0 {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-			}
-			results[i] = cm.expand(ps, visited, g.opts.PotentialReads)
-		}
-		return nil
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(frontier) || ctx.Err() != nil {
-					return
-				}
-				results[i] = cm.expand(frontier[i], visited, g.opts.PotentialReads)
-			}
-		}()
-	}
-	wg.Wait()
-	return ctx.Err()
+// exploreConfig is the driver configuration implied by the options.
+func (g *Generator) exploreConfig() explore.Config {
+	return explore.Config{Workers: g.opts.Workers, MaxStates: g.opts.MaxStates}
 }
 
-// cancelCheckMask spaces out ctx polls on sequential hot loops: checking
-// every state would put an atomic load in front of each (cheap) expansion,
-// checking every 64th keeps cancellation latency far below a millisecond.
-const cancelCheckMask = 63
+// wrapExploreErr maps driver errors onto the package's public errors.
+func (g *Generator) wrapExploreErr(err error) error {
+	if errors.Is(err, explore.ErrStateLimit) {
+		return fmt.Errorf("%w (limit %d)", ErrStateSpaceTooLarge, g.opts.MaxStates)
+	}
+	return err
+}
+
+func (g *Generator) generate(ctx context.Context, m *dataflow.Model) (*PrivacyLTS, *explore.Result, *ExploreReport, error) {
+	pre, err := g.prepare(m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var (
+		res    *explore.Result
+		report *ExploreReport
+	)
+	if g.opts.Explore.Symmetry {
+		res, report, err = g.runSymmetry(ctx, pre.cm)
+	} else {
+		res, err = explore.Run(ctx, g.exploreConfig(), &coldExpander{cm: pre.cm, mode: g.opts.PotentialReads})
+	}
+	if err != nil {
+		return nil, nil, nil, g.wrapExploreErr(err)
+	}
+	if report == nil {
+		report = &ExploreReport{Mode: "full"}
+	}
+	report.States = res.NumStates
+	report.StatesExplored = res.Explored
+	if err := assemble(ctx, pre.p, pre.cm, res, g.opts.Workers); err != nil {
+		return nil, nil, nil, err
+	}
+	return pre.p, res, report, nil
+}
 
 // deriveAction applies the paper's extraction rules to a flow.
 func deriveAction(m *dataflow.Model, f dataflow.Flow) (Action, bool) {

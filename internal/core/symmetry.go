@@ -1,0 +1,541 @@
+package core
+
+import (
+	"context"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+
+	"privascope/internal/explore"
+)
+
+// Symmetry-reduced exploration. explore.DetectOrbits proposes groups of
+// interchangeable actors from the declared model; buildSymPlan re-verifies
+// each group against the compiled gate/effect masks (the ground truth of
+// exploration) and precomputes, per orbit member, the packed-state bit ranges
+// that hold the member's private state: its has-segment block plus the
+// control bits of the services it owns. Swapping two members' blocks is then
+// exactly the state permutation induced by swapping the actors.
+//
+// Generation runs in two phases. Phase 1 explores the QUOTIENT space: every
+// successor is canonicalised (member blocks sorted within each orbit), so
+// only one representative per orbit of states is ever expanded. Phase 2
+// explores the full space again, but expands each state by looking up its
+// canonical form in the quotient and replaying the recorded successor rules
+// mapped through the block permutation — no gate evaluation, no successor
+// enumeration. The replayed rules are re-applied concretely and re-sorted
+// into the model's enumeration order, so the final Result is byte-identical
+// to a cold full exploration.
+
+// bitRange is a contiguous run of bits of a packedState (bit b lives in word
+// b/64 at position b%64).
+type bitRange struct {
+	start, n int
+}
+
+// symMember is one actor of an orbit: its bit ranges (has block, then one
+// control range per owned service, in ascending service order) and its flows
+// (concatenated over owned services, in enumeration order).
+type symMember struct {
+	actor    string
+	ranges   []bitRange
+	flowIdxs []int
+	// svcFlowCounts is the per-owned-service flow count, for structural
+	// pairing checks.
+	svcFlowCounts []int
+}
+
+type symOrbit struct {
+	members    []symMember
+	blockBits  int
+	blockWords int
+}
+
+// flowRef locates a flow inside the plan: member pos within its orbit.
+type flowRef struct {
+	orbit, member, pos int
+}
+
+type actorRef struct {
+	orbit, member int
+}
+
+// symPlan is the verified symmetry structure of one compiled model.
+type symPlan struct {
+	cm     *compiledModel
+	orbits []symOrbit
+	// flowInfo maps a global flow index to its orbit position; flows of
+	// non-orbit actors are absent.
+	flowInfo map[int]flowRef
+	// actorInfo maps an orbit actor to its position.
+	actorInfo map[string]actorRef
+	// readerByActor maps, per store, reader actor name to reader index.
+	readerByActor []map[string]int
+}
+
+// canonScratch is the per-worker canonicalisation scratch: one block buffer
+// and permutation slice per orbit.
+type canonScratch struct {
+	blocks [][]uint64
+	perm   [][]int
+}
+
+func (p *symPlan) newScratch() *canonScratch {
+	sc := &canonScratch{blocks: make([][]uint64, len(p.orbits)), perm: make([][]int, len(p.orbits))}
+	for i := range p.orbits {
+		o := &p.orbits[i]
+		sc.blocks[i] = make([]uint64, len(o.members)*o.blockWords)
+		sc.perm[i] = make([]int, len(o.members))
+	}
+	return sc
+}
+
+// buildSymPlan turns detected orbits into a verified plan, or nil when no
+// orbit survives verification.
+func buildSymPlan(cm *compiledModel, orbitActors [][]string) *symPlan {
+	if len(orbitActors) == 0 {
+		return nil
+	}
+	numFields := len(cm.vocab.fields)
+	p := &symPlan{
+		cm:        cm,
+		flowInfo:  make(map[int]flowRef),
+		actorInfo: make(map[string]actorRef),
+	}
+	p.readerByActor = make([]map[string]int, len(cm.stores))
+	for si := range cm.stores {
+		m := make(map[string]int, len(cm.stores[si].readers))
+		for ri := range cm.stores[si].readers {
+			m[cm.stores[si].readers[ri].actor] = ri
+		}
+		p.readerByActor[si] = m
+	}
+
+	// Which services reference which actors (by flow endpoints).
+	svcActors := make([]map[string]bool, len(cm.services))
+	for svcIdx := range cm.services {
+		refs := make(map[string]bool)
+		for _, fi := range cm.services[svcIdx].flowIdxs {
+			f := &cm.flows[fi].flow
+			refs[f.From] = true
+			refs[f.To] = true
+		}
+		svcActors[svcIdx] = refs
+	}
+
+orbitLoop:
+	for _, actors := range orbitActors {
+		orbit := symOrbit{}
+		for _, actor := range actors {
+			ai, ok := cm.vocab.actorIndex[actor]
+			if !ok {
+				continue orbitLoop
+			}
+			mem := symMember{actor: actor}
+			mem.ranges = append(mem.ranges, bitRange{start: ai * 2 * numFields, n: 2 * numFields})
+			for svcIdx := range cm.services {
+				if !svcActors[svcIdx][actor] {
+					continue
+				}
+				mem.ranges = append(mem.ranges, cm.ctrlRange(svcIdx))
+				mem.flowIdxs = append(mem.flowIdxs, cm.services[svcIdx].flowIdxs...)
+				mem.svcFlowCounts = append(mem.svcFlowCounts, len(cm.services[svcIdx].flowIdxs))
+			}
+			orbit.members = append(orbit.members, mem)
+		}
+		// Structural pairing: every member must expose the same range shape,
+		// flow count, and per-service flow counts.
+		first := &orbit.members[0]
+		for mi := 1; mi < len(orbit.members); mi++ {
+			m := &orbit.members[mi]
+			if len(m.ranges) != len(first.ranges) || len(m.flowIdxs) != len(first.flowIdxs) ||
+				len(m.svcFlowCounts) != len(first.svcFlowCounts) {
+				continue orbitLoop
+			}
+			for j := range m.ranges {
+				if m.ranges[j].n != first.ranges[j].n {
+					continue orbitLoop
+				}
+			}
+			for j := range m.svcFlowCounts {
+				if m.svcFlowCounts[j] != first.svcFlowCounts[j] {
+					continue orbitLoop
+				}
+			}
+		}
+		for _, r := range first.ranges {
+			orbit.blockBits += r.n
+		}
+		if orbit.blockBits == 0 {
+			continue
+		}
+		orbit.blockWords = (orbit.blockBits + 63) / 64
+
+		oi := len(p.orbits)
+		p.orbits = append(p.orbits, orbit)
+		if !p.verifyOrbit(oi) {
+			p.orbits = p.orbits[:oi]
+			continue
+		}
+		for mi := range orbit.members {
+			p.actorInfo[orbit.members[mi].actor] = actorRef{orbit: oi, member: mi}
+			for pos, fi := range orbit.members[mi].flowIdxs {
+				p.flowInfo[fi] = flowRef{orbit: oi, member: mi, pos: pos}
+			}
+		}
+	}
+	if len(p.orbits) == 0 {
+		return nil
+	}
+	return p
+}
+
+// ctrlRange returns the control-segment bit range of one service: its 16-bit
+// progress counter under OrderSequential, its (contiguous) fired-flow bits
+// under OrderDataDriven.
+func (cm *compiledModel) ctrlRange(svcIdx int) bitRange {
+	c := cm.codec
+	if c.ordering == OrderDataDriven {
+		flows := cm.services[svcIdx].flowIdxs
+		if len(flows) == 0 {
+			return bitRange{start: c.ctrlBase * 64, n: 0}
+		}
+		return bitRange{start: c.ctrlBase*64 + flows[0], n: len(flows)}
+	}
+	return bitRange{start: (c.ctrlBase+svcIdx/4)*64 + (svcIdx%4)*16, n: 16}
+}
+
+// verifyOrbit checks, for every adjacent transposition of the orbit's
+// members, that the compiled model maps onto itself: paired flows have
+// identical store effects and bit-permuted gate/set masks, every other flow
+// is invariant under the transposition, and the two actors' potential-read
+// tables correspond. Adjacent transpositions generate the full permutation
+// group of the orbit.
+func (p *symPlan) verifyOrbit(oi int) bool {
+	cm := p.cm
+	o := &p.orbits[oi]
+	for k := 0; k+1 < len(o.members); k++ {
+		a, b := &o.members[k], &o.members[k+1]
+		mapBit := func(bit int) int {
+			for j := range a.ranges {
+				ra, rb := a.ranges[j], b.ranges[j]
+				if bit >= ra.start && bit < ra.start+ra.n {
+					return rb.start + (bit - ra.start)
+				}
+				if bit >= rb.start && bit < rb.start+rb.n {
+					return ra.start + (bit - rb.start)
+				}
+			}
+			return bit
+		}
+		pairedFlow := make(map[int]int, 2*len(a.flowIdxs))
+		for pos := range a.flowIdxs {
+			pairedFlow[a.flowIdxs[pos]] = b.flowIdxs[pos]
+			pairedFlow[b.flowIdxs[pos]] = a.flowIdxs[pos]
+		}
+		for fi := range cm.flows {
+			gi, ok := pairedFlow[fi]
+			if !ok {
+				gi = fi
+			}
+			f, g := &cm.flows[fi], &cm.flows[gi]
+			if f.action != g.action || f.valid != g.valid || f.impossible != g.impossible ||
+				f.gateStore != g.gateStore || f.storeIdx != g.storeIdx {
+				return false
+			}
+			if !uint64SlicesEqual(f.gateStoreMask, g.gateStoreMask) ||
+				!uint64SlicesEqual(f.storeOr, g.storeOr) ||
+				!uint64SlicesEqual(f.storeClear, g.storeClear) {
+				return false
+			}
+			if !masksEqualUnderMap(f.gateHas, g.gateHas, mapBit) ||
+				!masksEqualUnderMap(f.setHas, g.setHas, mapBit) {
+				return false
+			}
+		}
+		for si := range cm.stores {
+			cs := &cm.stores[si]
+			ra, okA := p.readerByActor[si][a.actor]
+			rb, okB := p.readerByActor[si][b.actor]
+			if okA != okB {
+				return false
+			}
+			if !okA {
+				continue
+			}
+			fa, fb := cs.readers[ra].fields, cs.readers[rb].fields
+			if len(fa) != len(fb) {
+				return false
+			}
+			for j := range fa {
+				if fa[j].name != fb[j].name || fa[j].word != fb[j].word || fa[j].mask != fb[j].mask {
+					return false
+				}
+				ha, hb := fa[j].has, fb[j].has
+				if (ha.mask == 0) != (hb.mask == 0) {
+					return false
+				}
+				if ha.mask != 0 && mapBit(bitOfMask(ha)) != bitOfMask(hb) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func bitOfMask(wm wordMask) int { return wm.word*64 + bits.TrailingZeros64(wm.mask) }
+
+func uint64SlicesEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// masksEqualUnderMap reports whether mapping every bit of a through mapBit
+// yields exactly the bit set of b.
+func masksEqualUnderMap(a, b []wordMask, mapBit func(int) int) bool {
+	var ab, bb []int
+	for _, wm := range a {
+		m := wm.mask
+		for m != 0 {
+			ab = append(ab, mapBit(wm.word*64+bits.TrailingZeros64(m)))
+			m &= m - 1
+		}
+	}
+	for _, wm := range b {
+		m := wm.mask
+		for m != 0 {
+			bb = append(bb, wm.word*64+bits.TrailingZeros64(m))
+			m &= m - 1
+		}
+	}
+	if len(ab) != len(bb) {
+		return false
+	}
+	sort.Ints(ab)
+	sort.Ints(bb)
+	for i := range ab {
+		if ab[i] != bb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// copyBits copies n bits from src starting at srcBit to dst starting at
+// dstBit. Ranges must not overlap within one slice.
+func copyBits(dst []uint64, dstBit int, src []uint64, srcBit int, n int) {
+	for n > 0 {
+		chunk := 64 - srcBit%64
+		if c := 64 - dstBit%64; c < chunk {
+			chunk = c
+		}
+		if chunk > n {
+			chunk = n
+		}
+		mask := ^uint64(0)
+		if chunk < 64 {
+			mask = (1 << uint(chunk)) - 1
+		}
+		b := (src[srcBit/64] >> uint(srcBit%64)) & mask
+		dst[dstBit/64] = dst[dstBit/64]&^(mask<<uint(dstBit%64)) | b<<uint(dstBit%64)
+		srcBit += chunk
+		dstBit += chunk
+		n -= chunk
+	}
+}
+
+// canonicalizeInto writes the canonical form of src into dst (len
+// totalWords): within each orbit, member blocks are extracted, stably sorted,
+// and written back. sc.perm[orbit][slot] records which original member's
+// block landed in each slot — the permutation phase 2 maps rules through.
+func (p *symPlan) canonicalizeInto(src, dst []uint64, sc *canonScratch) {
+	copy(dst, src)
+	for oi := range p.orbits {
+		o := &p.orbits[oi]
+		bw := o.blockWords
+		blocks := sc.blocks[oi]
+		perm := sc.perm[oi]
+		for mi := range o.members {
+			blk := blocks[mi*bw : (mi+1)*bw]
+			off := 0
+			for _, r := range o.members[mi].ranges {
+				copyBits(blk, off, dst, r.start, r.n)
+				off += r.n
+			}
+			perm[mi] = mi
+		}
+		changed := false
+		for i := 1; i < len(perm); i++ {
+			for j := i; j > 0 && blockLess(blocks, bw, perm[j], perm[j-1]); j-- {
+				perm[j], perm[j-1] = perm[j-1], perm[j]
+				changed = true
+			}
+		}
+		if !changed {
+			continue
+		}
+		for slot, mi := range perm {
+			if mi == slot {
+				continue
+			}
+			blk := blocks[mi*bw : (mi+1)*bw]
+			off := 0
+			for _, r := range o.members[slot].ranges {
+				copyBits(dst, r.start, blk, off, r.n)
+				off += r.n
+			}
+		}
+	}
+}
+
+// blockLess orders member blocks lexicographically by their words.
+func blockLess(blocks []uint64, bw, i, j int) bool {
+	a := blocks[i*bw : (i+1)*bw]
+	b := blocks[j*bw : (j+1)*bw]
+	for w := range a {
+		if a[w] != b[w] {
+			return a[w] < b[w]
+		}
+	}
+	return false
+}
+
+// mapRule maps a rule recorded against a canonical state into the frame of
+// the concrete state whose canonicalisation produced perm: slot j of the
+// canonical state holds the block of concrete member perm[j], so a canonical
+// rule of member j corresponds to the concrete rule of member perm[j].
+func (p *symPlan) mapRule(rule int32, sc *canonScratch) int32 {
+	if rule >= 0 {
+		if fr, ok := p.flowInfo[int(rule)]; ok {
+			perm := sc.perm[fr.orbit]
+			return int32(p.orbits[fr.orbit].members[perm[fr.member]].flowIdxs[fr.pos])
+		}
+		return rule
+	}
+	si, ri := decodePotentialRule(rule)
+	actor := p.cm.stores[si].readers[ri].actor
+	if ar, ok := p.actorInfo[actor]; ok {
+		perm := sc.perm[ar.orbit]
+		mapped := p.orbits[ar.orbit].members[perm[ar.member]].actor
+		ri = p.readerByActor[si][mapped]
+	}
+	return encodePotentialRule(si, ri)
+}
+
+// mappedRule is one replayed rule with its enumeration-order sort key.
+type mappedRule struct {
+	key  int
+	rule int32
+}
+
+// ruleKey orders rules exactly as expandInto enumerates them: declared flows
+// by global flow index (enumeration is service-major, matching the global
+// order), then potential reads by (store, reader).
+func ruleKey(rule int32) int {
+	if rule >= 0 {
+		return int(rule)
+	}
+	si, ri := decodePotentialRule(rule)
+	return 1<<30 + si<<16 + ri
+}
+
+// quotientExpander explores the quotient space: cold expansion with every
+// successor canonicalised.
+type quotientExpander struct {
+	cm   *compiledModel
+	plan *symPlan
+	mode PotentialReadMode
+}
+
+func (e *quotientExpander) Words() int        { return e.cm.codec.totalWords }
+func (e *quotientExpander) Initial() []uint64 { return e.cm.codec.newState() }
+
+func (e *quotientExpander) Expand(ps []uint64, sink *explore.Sink) {
+	expandInto(e.cm, ps, sink, scratchOf(sink, e.cm, e.plan), e.mode, e.plan)
+}
+
+// symFullExpander explores the full space by replaying the quotient: each
+// state is canonicalised, its quotient successors' rules are mapped through
+// the block permutation, sorted back into enumeration order, and re-applied
+// concretely. States whose canonical form was not expanded in the quotient
+// (terminal representatives) fall back to cold expansion.
+type symFullExpander struct {
+	cm       *compiledModel
+	plan     *symPlan
+	mode     PotentialReadMode
+	quotient *explore.Result
+	qIdx     []int32
+	cold     atomic.Int64
+}
+
+func (e *symFullExpander) Words() int        { return e.cm.codec.totalWords }
+func (e *symFullExpander) Initial() []uint64 { return e.cm.codec.newState() }
+
+func (e *symFullExpander) Expand(ps []uint64, sink *explore.Sink) {
+	sc := scratchOf(sink, e.cm, e.plan)
+	e.plan.canonicalizeInto(ps, sc.canonState, sc.canon)
+	qid, ok := e.quotient.Lookup(sc.canonState)
+	if !ok || !e.quotient.WasExpanded(qid) {
+		e.cold.Add(1)
+		expandInto(e.cm, ps, sink, sc, e.mode, nil)
+		return
+	}
+	edges := e.quotient.Edges[e.qIdx[qid]:e.qIdx[qid+1]]
+	sc.mapped = sc.mapped[:0]
+	for i := range edges {
+		rule := e.plan.mapRule(edges[i].Rule, sc.canon)
+		sc.mapped = append(sc.mapped, mappedRule{key: ruleKey(rule), rule: rule})
+	}
+	for i := 1; i < len(sc.mapped); i++ {
+		for j := i; j > 0 && sc.mapped[j].key < sc.mapped[j-1].key; j-- {
+			sc.mapped[j], sc.mapped[j-1] = sc.mapped[j-1], sc.mapped[j]
+		}
+	}
+	terminal := e.mode == PotentialReadsTerminal
+	for _, mr := range sc.mapped {
+		if mr.rule >= 0 {
+			emitFlow(e.cm, ps, &e.cm.flows[mr.rule], sink, sc, nil)
+		} else {
+			si, ri := decodePotentialRule(mr.rule)
+			emitPotential(e.cm, ps, si, ri, terminal, sink, sc, nil)
+		}
+	}
+}
+
+// runSymmetry generates with symmetry reduction: quotient exploration first,
+// then the replayed full exploration. Models without verified symmetry run
+// the plain cold path.
+func (g *Generator) runSymmetry(ctx context.Context, cm *compiledModel) (*explore.Result, *ExploreReport, error) {
+	plan := buildSymPlan(cm, explore.DetectOrbits(cm.model))
+	if plan == nil {
+		res, err := explore.Run(ctx, g.exploreConfig(), &coldExpander{cm: cm, mode: g.opts.PotentialReads})
+		return res, &ExploreReport{Mode: "full"}, err
+	}
+	q, err := explore.Run(ctx, g.exploreConfig(), &quotientExpander{cm: cm, plan: plan, mode: g.opts.PotentialReads})
+	if err != nil {
+		return nil, nil, err
+	}
+	fx := &symFullExpander{cm: cm, plan: plan, mode: g.opts.PotentialReads, quotient: q, qIdx: q.EdgeIndex()}
+	res, err := explore.Run(ctx, g.exploreConfig(), fx)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &ExploreReport{
+		Mode:            "symmetry",
+		CanonicalStates: q.NumStates,
+		Orbits:          len(plan.orbits),
+		ColdExpanded:    int(fx.cold.Load()),
+	}
+	for i := range plan.orbits {
+		report.OrbitActors += len(plan.orbits[i].members)
+	}
+	return res, report, nil
+}

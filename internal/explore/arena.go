@@ -1,0 +1,47 @@
+package explore
+
+// wordArena hands out []uint64 blocks from large reusable chunks. Its
+// lifetime discipline is generation-scoped: the driver resets every worker's
+// arena at the start of each BFS generation, after the merge phase has copied
+// the surviving candidate states into the retained state slab. Reset keeps
+// the chunks, so after warm-up a worker allocates nothing per generation.
+//
+// Blocks are NOT zeroed: every consumer fully overwrites the block (state
+// copies write all words).
+type wordArena struct {
+	chunks [][]uint64
+	cur    int // index of the chunk currently being carved
+	off    int // next free word within chunks[cur]
+}
+
+// arenaChunkWords is the default chunk size (128 KiB of words); allocations
+// larger than a chunk get a dedicated chunk of their own size.
+const arenaChunkWords = 16384
+
+// alloc returns an uninitialised block of n words.
+func (a *wordArena) alloc(n int) []uint64 {
+	for {
+		if a.cur < len(a.chunks) {
+			c := a.chunks[a.cur]
+			if a.off+n <= len(c) {
+				out := c[a.off : a.off+n : a.off+n]
+				a.off += n
+				return out
+			}
+			a.cur++
+			a.off = 0
+			continue
+		}
+		size := arenaChunkWords
+		if n > size {
+			size = n
+		}
+		a.chunks = append(a.chunks, make([]uint64, size))
+	}
+}
+
+// reset recycles every chunk. Blocks handed out before the reset must no
+// longer be referenced by the caller.
+func (a *wordArena) reset() {
+	a.cur, a.off = 0, 0
+}

@@ -1,0 +1,32 @@
+// Package explore owns the exploration strategy of privacy-LTS generation:
+// a deterministic, level-synchronised parallel BFS driver over packed uint64
+// state encodings, with three cooperating layers on top of the plain
+// breadth-first search:
+//
+//   - arena/slab allocation: frontier candidate states and transition buffers
+//     come from per-worker reusable arenas whose lifetime is one BFS
+//     generation; survivors are copied into a single retained state slab, so
+//     steady-state exploration performs no per-candidate heap allocation.
+//
+//   - symmetry reduction: DetectOrbits finds same-shaped actors (identical
+//     flow structure and policy grants under renaming), so a caller can
+//     explore one canonical representative per orbit and expand the quotient
+//     back to the full, byte-identical LTS (package core implements the
+//     canonicalisation against its compiled bit masks and verifies every
+//     orbit against them before trusting it).
+//
+//   - incremental regeneration: Diff classifies the delta between two
+//     data-flow models; when the delta provably cannot change the explored
+//     structure (metadata-only, or read-permission changes under terminal
+//     potential reads), a caller can replay a previous exploration Result
+//     state-by-state instead of re-expanding, recomputing only the affected
+//     (datastore, reader) transitions, with a full-regeneration fallback
+//     whenever safety cannot be proven.
+//
+// The driver is deliberately agnostic about what the packed words mean: an
+// Expander supplies the initial state and the successor enumeration, and the
+// driver guarantees that state numbering, edge order and the final Result are
+// identical for every worker count — the property the rest of the repository
+// (digest tests, modelstore artifacts, the cluster determinism harness)
+// relies on.
+package explore

@@ -1,0 +1,158 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"privascope/internal/accesscontrol"
+	"privascope/internal/dataflow"
+	"privascope/internal/schema"
+)
+
+// DetectOrbits finds groups of structurally interchangeable actors ("orbits")
+// in a data-flow model: actors whose services declare the same-shaped flows
+// (identical up to substituting the actor itself) and whose access-control
+// grants are identical. Swapping two actors of an orbit maps the model onto
+// itself, so the reachable state space is symmetric under any permutation of
+// an orbit — which is what symmetry-reduced exploration exploits.
+//
+// Detection is deliberately conservative:
+//
+//   - two actors are candidates only when their rendered flow/grant
+//     signatures are exactly equal;
+//   - any service whose flows reference two or more candidate actors couples
+//     them (e.g. one replica discloses to another), so all its candidates are
+//     dropped;
+//   - groups need at least two members.
+//
+// The result lists each orbit's members in sorted order, orbits ordered by
+// their first member. Callers must still verify the orbits against their own
+// compiled form of the model before relying on them; DetectOrbits only
+// reasons about the declared model.
+func DetectOrbits(m *dataflow.Model) [][]string {
+	if m == nil || len(m.Actors) < 2 {
+		return nil
+	}
+
+	// The grant universe mirrors the exploration encoding: every model field
+	// plus its pseudonymised counterpart, against every datastore.
+	fieldSet := make(map[string]bool)
+	for _, f := range m.FieldUniverse() {
+		fieldSet[f] = true
+		fieldSet[schema.AnonName(f)] = true
+	}
+	grantFields := make([]string, 0, len(fieldSet))
+	for f := range fieldSet {
+		grantFields = append(grantFields, f)
+	}
+	sort.Strings(grantFields)
+	perms := []accesscontrol.Permission{
+		accesscontrol.PermissionRead,
+		accesscontrol.PermissionWrite,
+		accesscontrol.PermissionDelete,
+	}
+
+	bySig := make(map[string][]string)
+	for _, a := range m.Actors {
+		sig := actorSignature(m, a.ID, grantFields, perms)
+		bySig[sig] = append(bySig[sig], a.ID)
+	}
+
+	candidate := make(map[string]bool)
+	for _, group := range bySig {
+		if len(group) >= 2 {
+			for _, a := range group {
+				candidate[a] = true
+			}
+		}
+	}
+	if len(candidate) == 0 {
+		return nil
+	}
+
+	// Drop every candidate that shares a service with another candidate: a
+	// flow between (or jointly involving) two candidates couples their state,
+	// and swapping only one of them would not map the model onto itself.
+	for _, svcID := range m.ServiceIDs() {
+		refs := make(map[string]bool)
+		for _, f := range m.ServiceFlows(svcID) {
+			if candidate[f.From] {
+				refs[f.From] = true
+			}
+			if candidate[f.To] {
+				refs[f.To] = true
+			}
+		}
+		if len(refs) >= 2 {
+			for a := range refs {
+				delete(candidate, a)
+			}
+		}
+	}
+
+	var orbits [][]string
+	for _, group := range bySig {
+		var members []string
+		for _, a := range group {
+			if candidate[a] {
+				members = append(members, a)
+			}
+		}
+		if len(members) >= 2 {
+			sort.Strings(members)
+			orbits = append(orbits, members)
+		}
+	}
+	sort.Slice(orbits, func(i, j int) bool { return orbits[i][0] < orbits[j][0] })
+	return orbits
+}
+
+// actorSignature renders everything about the actor that exploration depends
+// on: each service referencing the actor (flows in declared order, the actor
+// itself replaced by a placeholder, all other node IDs literal) and the
+// actor's full grant matrix. Two actors with equal signatures declare
+// isomorphic behaviour.
+func actorSignature(m *dataflow.Model, aid string, grantFields []string, perms []accesscontrol.Permission) string {
+	ren := func(id string) string {
+		if id == aid {
+			return "@"
+		}
+		return id
+	}
+	var b strings.Builder
+	for _, svcID := range m.ServiceIDs() {
+		flows := m.ServiceFlows(svcID)
+		refs := false
+		for _, f := range flows {
+			if f.From == aid || f.To == aid {
+				refs = true
+				break
+			}
+		}
+		if !refs {
+			continue
+		}
+		b.WriteString("svc{")
+		for _, f := range flows {
+			fmt.Fprintf(&b, "%d:%s->%s[%s][%s]%v;",
+				f.Order, ren(f.From), ren(f.To),
+				strings.Join(f.Fields, ","), strings.Join(f.Authored, ","), f.Delete)
+		}
+		b.WriteString("}")
+	}
+	b.WriteString("grants{")
+	if m.Policy != nil {
+		for _, store := range m.DatastoreIDs() {
+			for _, field := range grantFields {
+				for _, perm := range perms {
+					if m.Policy.Allows(aid, store, field, perm) {
+						fmt.Fprintf(&b, "%s.%s.%s;", store, field, perm)
+					}
+				}
+			}
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}

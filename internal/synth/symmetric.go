@@ -1,0 +1,77 @@
+package synth
+
+import (
+	"fmt"
+
+	"privascope/internal/accesscontrol"
+	"privascope/internal/dataflow"
+	"privascope/internal/schema"
+)
+
+// SymmetricSpec configures SymmetricModel.
+type SymmetricSpec struct {
+	// Replicas is the number of interchangeable worker actors; default 4.
+	Replicas int
+	// Fields is the number of fields the shared store holds; default 2.
+	Fields int
+}
+
+// SymmetricModel generates a model with deliberate actor symmetry: Replicas
+// worker actors, each with its own service of identical shape (collect from
+// the subject, write to the shared store, read back), identical grants on the
+// one shared store, plus a singleton auditor with read-only access. The
+// replicas form one orbit of size Replicas for symmetry-reduced exploration
+// (explore.DetectOrbits); the auditor and the subject stay fixed.
+func SymmetricModel(spec SymmetricSpec) *dataflow.Model {
+	replicas := spec.Replicas
+	if replicas <= 0 {
+		replicas = 4
+	}
+	numFields := spec.Fields
+	if numFields <= 0 {
+		numFields = 2
+	}
+
+	b := dataflow.NewBuilder(fmt.Sprintf("symmetric-%d-replicas", replicas),
+		dataflow.Actor{ID: "subject", Name: "Data Subject"})
+
+	fields := make([]schema.Field, numFields)
+	fieldNames := make([]string, numFields)
+	for f := 0; f < numFields; f++ {
+		name := fmt.Sprintf("field_%d", f)
+		category := schema.CategoryStandard
+		if f == 0 {
+			category = schema.CategoryIdentifier
+		} else if f == numFields-1 {
+			category = schema.CategorySensitive
+		}
+		fields[f] = schema.Field{Name: name, Category: category}
+		fieldNames[f] = name
+	}
+	const storeID = "shared"
+	b.AddDatastore(schema.Datastore{ID: storeID, Name: storeID, Schema: schema.Schema{Name: storeID, Fields: fields}})
+
+	acl := &accesscontrol.ACL{}
+	auditor := dataflow.Actor{ID: "auditor", Name: "Auditor"}
+	b.AddActor(auditor)
+	mustGrant(acl, accesscontrol.Grant{Actor: auditor.ID, Datastore: storeID,
+		Fields:      []string{accesscontrol.AllFields},
+		Permissions: []accesscontrol.Permission{accesscontrol.PermissionRead},
+		Reason:      "audit"})
+
+	for i := 0; i < replicas; i++ {
+		replica := fmt.Sprintf("replica%d", i)
+		svcID := fmt.Sprintf("svc%d", i)
+		b.AddActor(dataflow.Actor{ID: replica, Name: replica})
+		b.AddService(dataflow.Service{ID: svcID, Name: svcID})
+		b.Flow(svcID, "subject", replica, fieldNames, "collect")
+		b.Flow(svcID, replica, storeID, fieldNames, "store")
+		b.Flow(svcID, storeID, replica, fieldNames, "process")
+		mustGrant(acl, accesscontrol.Grant{Actor: replica, Datastore: storeID,
+			Fields:      []string{accesscontrol.AllFields},
+			Permissions: []accesscontrol.Permission{accesscontrol.PermissionRead, accesscontrol.PermissionWrite}})
+	}
+
+	b.WithPolicy(acl)
+	return b.MustBuild()
+}
