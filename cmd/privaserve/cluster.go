@@ -39,6 +39,20 @@ func runClusterMode(ctx context.Context, nodes int, generated *privascope.Privac
 	for i, srv := range c.Servers {
 		fmt.Fprintf(out, "  %-8s %s\n", c.Nodes[i].Name(), srv.URL())
 	}
+	// Failure detection: a node that misses consecutive liveness probes is
+	// evicted, its users fail over to ring successors from their last
+	// snapshot, and undelivered frames are re-routed.
+	prober := c.StartProber(cluster.ProberConfig{
+		OnEvict: func(name string, err error) {
+			if err != nil {
+				fmt.Fprintf(out, "cluster: evicting dead node %q failed: %v\n", name, err)
+				return
+			}
+			fmt.Fprintf(out, "cluster: node %q evicted after failed liveness probes; users failed over (ring epoch %d)\n",
+				name, c.Router.Epoch())
+		},
+	})
+	defer prober.Stop()
 	if err := c.Router.Register(ctx, []privascope.UserProfile{profile}); err != nil {
 		return err
 	}
@@ -103,6 +117,7 @@ func runClusterMode(ctx context.Context, nodes int, generated *privascope.Privac
 			return err
 		}
 		fmt.Fprintf(out, "privaserve: duration elapsed; %d alerts recorded\n", len(c.Alerts()))
+		printMembershipStats(c, out)
 		return nil
 	}
 	for {
@@ -160,5 +175,28 @@ func replayEventsCluster(ctx context.Context, path string, c *cluster.Local, out
 	}
 	fmt.Fprintf(out, "cluster replay complete: %d events (%d unregistered), %d alerts\n",
 		stats.Events, stats.Unregistered, len(alerts))
+	printMembershipStats(c, out)
 	return nil
+}
+
+// printMembershipStats summarizes the fault-tolerance counters after a run:
+// the ring epoch (how many membership changes happened), retry/dedup volume,
+// and how many user snapshots moved between nodes — split into planned
+// rebalances and failovers from a dead node's last snapshot.
+func printMembershipStats(c *cluster.Local, out io.Writer) {
+	rs := c.Router.Stats()
+	var deduped, handoffIn, handoffOut, failoverIn int64
+	for _, n := range c.Nodes {
+		ns := n.Stats()
+		deduped += ns.DedupedFrames
+		handoffIn += ns.HandoffInUsers
+		handoffOut += ns.HandoffOutUsers
+		failoverIn += ns.FailoverInUsers
+	}
+	fmt.Fprintf(out, "cluster: ring epoch %d; %d frames sent, %d retries, %d deduped, %d dropped\n",
+		rs.Epoch, rs.FramesSent, rs.Retries, deduped, rs.Dropped)
+	if handoffIn+handoffOut+failoverIn+rs.ReroutedEvents > 0 {
+		fmt.Fprintf(out, "cluster: handoff %d users out / %d in (%d via failover); %d events re-routed\n",
+			handoffOut, handoffIn, failoverIn, rs.ReroutedEvents)
+	}
 }

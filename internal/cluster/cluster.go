@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"privascope/internal/core"
@@ -84,11 +85,32 @@ func (s *NodeServer) Stop(ctx context.Context) error {
 // Local is an in-process cluster: n nodes named node0..node{n-1}, each with
 // its own monitor and HTTP server, fronted by one Router. It is the
 // deployment unit behind `privaserve -cluster N`, the integration tests and
-// the ingest benchmark.
+// the ingest benchmark. Membership is live — AddNode, RemoveNode and
+// EvictNode change the fleet under traffic — and a Prober (StartProber)
+// turns failed liveness probes into evictions.
 type Local struct {
 	Nodes   []*Node
 	Servers []*NodeServer
 	Router  *Router
+
+	// mu guards the membership fields (Nodes, Servers, retired, joining,
+	// nextNode) against concurrent changes from a Prober.
+	mu       sync.Mutex
+	model    *core.PrivacyLTS
+	nodeCfg  NodeConfig
+	nextNode int
+	// retired holds removed/evicted nodes: their monitors keep the alert
+	// history those nodes raised while they owned their users.
+	retired []*Node
+	// joining names the node a in-progress AddNode is handing off to, which
+	// is not yet in Nodes.
+	joining *joiningNode
+}
+
+// joiningNode is the name/URL of a node mid-join.
+type joiningNode struct {
+	name string
+	url  string
 }
 
 // StartLocal builds and starts an n-node local cluster over the model.
@@ -98,7 +120,7 @@ func StartLocal(p *core.PrivacyLTS, n int, nodeCfg NodeConfig, routerCfg RouterC
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
 	}
-	c := &Local{}
+	c := &Local{model: p, nodeCfg: nodeCfg, nextNode: n}
 	urls := make(map[string]string, n)
 	for i := 0; i < n; i++ {
 		cfg := nodeCfg
@@ -132,8 +154,13 @@ func StartLocal(p *core.PrivacyLTS, n int, nodeCfg NodeConfig, routerCfg RouterC
 // (each node's own log stays in its observation order); callers needing a
 // canonical order sort the result.
 func (c *Local) Alerts() []runtime.Alert {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var all []runtime.Alert
 	for _, n := range c.Nodes {
+		all = append(all, n.Monitor().Alerts()...)
+	}
+	for _, n := range c.retired {
 		all = append(all, n.Monitor().Alerts()...)
 	}
 	return all
@@ -145,7 +172,10 @@ func (c *Local) Quiesce(ctx context.Context) error {
 	if err := c.Router.Flush(ctx); err != nil {
 		return err
 	}
-	for _, n := range c.Nodes {
+	c.mu.Lock()
+	nodes := append([]*Node(nil), c.Nodes...)
+	c.mu.Unlock()
+	for _, n := range nodes {
 		if err := n.Quiesce(ctx); err != nil {
 			return err
 		}
@@ -172,6 +202,8 @@ func (c *Local) Stop(ctx context.Context) error {
 func (c *Local) shutdown() { _ = c.shutdownCtx(context.Background()) }
 
 func (c *Local) shutdownCtx(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var first error
 	for _, s := range c.Servers {
 		if err := s.Stop(ctx); err != nil && first == nil {
@@ -183,5 +215,9 @@ func (c *Local) shutdownCtx(ctx context.Context) error {
 		n.Close()
 	}
 	c.Nodes = nil
+	for _, n := range c.retired {
+		n.Close()
+	}
+	c.retired = nil
 	return first
 }

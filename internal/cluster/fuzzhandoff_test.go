@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// handoffCorpusSeeds builds the committed seed inputs for the handoff
+// decoder: a valid frame and the hostile shapes its validation paths must
+// survive (truncation, future version, adversarial length prefix, corrupt
+// offset array).
+func handoffCorpusSeeds(t testing.TB) map[string][]byte {
+	t.Helper()
+	valid, err := EncodeHandoff(handoffSnaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	futureVersion := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint16(futureVersion[4:], HandoffVersion+1)
+	oversized := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(oversized[8:], MaxHandoffBytes+1)
+	badOffsets := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badOffsets[handoffHeaderSize+4:], 1<<30)
+	return map[string][]byte{
+		"valid":             valid,
+		"truncated-header":  valid[:11],
+		"truncated-records": valid[:len(valid)-5],
+		"future-version":    futureVersion,
+		"oversized-length":  oversized,
+		"corrupt-offsets":   badOffsets,
+	}
+}
+
+// FuzzHandoffDecode hammers the state-handoff decoder with arbitrary bytes:
+// it must never panic, and any snapshot set it accepts must re-encode and
+// re-decode to the same snapshots — decode∘encode is a fixpoint, which also
+// pins the encoder's determinism (sorted sensitivity fields, canonical
+// interning).
+func FuzzHandoffDecode(f *testing.F) {
+	for _, seed := range handoffCorpusSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snaps, err := DecodeHandoff(data)
+		if err != nil {
+			if snaps != nil {
+				t.Fatalf("decode returned both snapshots and error %v", err)
+			}
+			return
+		}
+		reencoded, err := EncodeHandoff(snaps)
+		if err != nil {
+			t.Fatalf("re-encoding accepted snapshots failed: %v", err)
+		}
+		again, err := DecodeHandoff(reencoded)
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded frame failed: %v", err)
+		}
+		if !reflect.DeepEqual(snaps, again) {
+			t.Fatalf("decode/encode/decode is not a fixpoint:\nfirst  %+v\nsecond %+v", snaps, again)
+		}
+	})
+}
+
+// TestHandoffFuzzCorpusCommitted keeps the committed handoff seed corpus in
+// sync with the wire format, in the FuzzFrameDecode corpus idiom. Regenerate
+// with CLUSTER_REGEN_CORPUS=1 after a deliberate format change.
+func TestHandoffFuzzCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzHandoffDecode")
+	seeds := handoffCorpusSeeds(t)
+	if os.Getenv("CLUSTER_REGEN_CORPUS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for name, want := range seeds {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("corpus entry %s missing (regenerate with CLUSTER_REGEN_CORPUS=1): %v", name, err)
+		}
+		const header = "go test fuzz v1\n[]byte("
+		s := string(raw)
+		if !strings.HasPrefix(s, header) || !strings.HasSuffix(s, ")\n") {
+			t.Fatalf("corpus entry %s is not in go-fuzz v1 form", name)
+		}
+		data, err := strconv.Unquote(s[len(header) : len(s)-2])
+		if err != nil {
+			t.Fatalf("corpus entry %s: %v", name, err)
+		}
+		if !bytes.Equal([]byte(data), want) {
+			t.Fatalf("corpus entry %s is stale; regenerate with CLUSTER_REGEN_CORPUS=1", name)
+		}
+		_, decErr := DecodeHandoff([]byte(data))
+		switch name {
+		case "valid":
+			if decErr != nil {
+				t.Fatalf("valid corpus entry rejected: %v", decErr)
+			}
+		case "future-version":
+			if !errors.Is(decErr, ErrHandoffVersion) {
+				t.Fatalf("future-version corpus entry: %v, want ErrHandoffVersion", decErr)
+			}
+		default:
+			if decErr == nil {
+				t.Fatalf("corrupt corpus entry %s accepted", name)
+			}
+		}
+	}
+}

@@ -23,8 +23,17 @@ func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metric("privascope_node_frames_total", "Event frames accepted by the ingest endpoint.", "counter", s.Frames)
 	metric("privascope_node_rejected_events_total", "Events rejected with 429 by admission control.", "counter", s.Rejected)
 	metric("privascope_node_decode_errors_total", "Malformed frames rejected with 400.", "counter", s.DecodeErrors)
+	metric("privascope_node_deduped_frames_total", "Retried frames skipped by stream-offset deduplication.", "counter", s.DedupedFrames)
 	metric("privascope_node_queue_depth", "Accepted events not yet applied to the monitor.", "gauge", s.QueueDepth)
 	metric("privascope_node_queue_limit", "Admission bound on queued events.", "gauge", s.QueueLimit)
+	metric("privascope_node_handoff_in_users_total", "User snapshots imported through /handoff.", "counter", s.HandoffInUsers)
+	metric("privascope_node_handoff_out_users_total", "User snapshots exported off this node by membership changes.", "counter", s.HandoffOutUsers)
+	metric("privascope_node_failover_in_users_total", "Imported snapshots whose previous owner was evicted as dead.", "counter", s.FailoverInUsers)
+	ready := int64(0)
+	if s.Ready {
+		ready = 1
+	}
+	metric("privascope_node_ready", "Readiness: 0 while draining or receiving a handoff.", "gauge", ready)
 	metric("privascope_node_ingested_events_total", "Events applied to the monitor.", "counter", int64(s.Ingest.Events))
 	metric("privascope_node_matched_events_total", "Applied events that advanced a model cursor.", "counter", int64(s.Ingest.Matched))
 	metric("privascope_node_unregistered_events_total", "Applied events naming an unregistered user.", "counter", int64(s.Ingest.Unregistered))

@@ -56,10 +56,26 @@ type NodeStats struct {
 	Events       int64
 	Rejected     int64
 	DecodeErrors int64
+	// DedupedFrames counts retried frames the stream-offset filter skipped
+	// because an earlier delivery already applied them (a response lost to
+	// the network, not the client's fault).
+	DedupedFrames int64
 	// QueueDepth is the number of accepted events not yet applied to the
 	// monitor; QueueLimit is the admission bound.
 	QueueDepth int64
 	QueueLimit int64
+	// HandoffInUsers counts user snapshots imported through /handoff;
+	// HandoffOutUsers counts snapshots exported off this node by a
+	// membership change, split by reason ("rebalance" vs "failover" lives on
+	// the importing side's metrics labels).
+	HandoffInUsers  int64
+	HandoffOutUsers int64
+	// FailoverInUsers counts the subset of HandoffInUsers imported because
+	// their previous owner was evicted as dead.
+	FailoverInUsers int64
+	// Ready reports the readiness half of the health split: false while the
+	// node is draining or receiving a handoff.
+	Ready bool
 	// Ingest aggregates the monitor's per-batch IngestStats.
 	Ingest runtime.IngestStats
 }
@@ -82,6 +98,23 @@ type Node struct {
 	events       atomic.Int64
 	rejected     atomic.Int64
 	decodeErrors atomic.Int64
+	deduped      atomic.Int64
+	handoffIn    atomic.Int64
+	handoffOut   atomic.Int64
+	failoverIn   atomic.Int64
+
+	// draining and receiving drive the readiness half of the health split:
+	// /readyz answers 503 while the node is flushing its queue for a
+	// shutdown/handoff (draining) or importing snapshots (receiving), so
+	// probers and load balancers stop routing to it before its state moves.
+	draining  atomic.Bool
+	receiving atomic.Int32
+
+	// streams maps a router sender's stream ID to the next expected frame
+	// index, so a frame redelivered after a lost response is skipped instead
+	// of applied twice (exactly-once ingest on top of at-least-once retries).
+	streamsMu sync.Mutex
+	streams   map[string]int64
 
 	statsMu sync.Mutex
 	ingest  runtime.IngestStats
@@ -112,14 +145,17 @@ func NewNode(p *core.PrivacyLTS, cfg NodeConfig) (*Node, error) {
 		queue:      make(chan []service.Event, nodeQueueBatches),
 		retryAfter: cfg.RetryAfter,
 		queueLimit: int64(cfg.QueueEvents),
+		streams:    make(map[string]int64),
 		stop:       make(chan struct{}),
 		drained:    make(chan struct{}),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", n.handleIngest)
 	mux.HandleFunc("POST /register", n.handleRegister)
+	mux.HandleFunc("POST /handoff", n.handleHandoff)
 	mux.HandleFunc("GET /alerts", n.handleAlerts)
 	mux.HandleFunc("GET /healthz", n.handleHealthz)
+	mux.HandleFunc("GET /readyz", n.handleReadyz)
 	mux.HandleFunc("GET /metrics", n.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -147,14 +183,24 @@ func (n *Node) Stats() NodeStats {
 	ingest := n.ingest
 	n.statsMu.Unlock()
 	return NodeStats{
-		Frames:       n.frames.Load(),
-		Events:       n.events.Load(),
-		Rejected:     n.rejected.Load(),
-		DecodeErrors: n.decodeErrors.Load(),
-		QueueDepth:   n.pending.Load(),
-		QueueLimit:   n.queueLimit,
-		Ingest:       ingest,
+		Frames:          n.frames.Load(),
+		Events:          n.events.Load(),
+		Rejected:        n.rejected.Load(),
+		DecodeErrors:    n.decodeErrors.Load(),
+		DedupedFrames:   n.deduped.Load(),
+		QueueDepth:      n.pending.Load(),
+		QueueLimit:      n.queueLimit,
+		HandoffInUsers:  n.handoffIn.Load(),
+		HandoffOutUsers: n.handoffOut.Load(),
+		FailoverInUsers: n.failoverIn.Load(),
+		Ready:           n.ready(),
+		Ingest:          ingest,
 	}
+}
+
+// ready reports the readiness half of the health split.
+func (n *Node) ready() bool {
+	return !n.draining.Load() && n.receiving.Load() == 0
 }
 
 // drain is the node's single ingestion worker.
@@ -189,8 +235,12 @@ func (n *Node) drain() {
 
 // Quiesce blocks until every accepted event has been applied to the monitor
 // (or ctx is done). The router's Flush plus every node's Quiesce is the
-// cluster-wide happens-before edge tests rely on.
+// cluster-wide happens-before edge tests rely on. While quiescing the node
+// reports not-ready on /readyz: a drain is exactly the moment probers and
+// load balancers should stop routing new work here.
 func (n *Node) Quiesce(ctx context.Context) error {
+	n.draining.Store(true)
+	defer n.draining.Store(false)
 	tick := time.NewTicker(500 * time.Microsecond)
 	defer tick.Stop()
 	for n.pending.Load() != 0 {
@@ -203,10 +253,26 @@ func (n *Node) Quiesce(ctx context.Context) error {
 	return nil
 }
 
+// BeginDrain marks the node as draining for good: /readyz answers 503 from
+// here on. A graceful leave calls it before the state handoff so external
+// routing backs off while ownership moves; Close implies it.
+func (n *Node) BeginDrain() { n.draining.Store(true) }
+
 // Close stops the drain worker after it has applied every accepted batch.
 func (n *Node) Close() {
+	n.BeginDrain()
 	n.stopOnce.Do(func() { close(n.stop) })
 	<-n.drained
+}
+
+// StreamCursor returns the next frame index the node expects on the stream —
+// everything below it has been applied. Membership changes read it off a dead
+// node (management plane, in-process) to decide which parked frames still
+// need re-routing and which would be duplicates.
+func (n *Node) StreamCursor(stream string) int64 {
+	n.streamsMu.Lock()
+	defer n.streamsMu.Unlock()
+	return n.streams[stream]
 }
 
 // admit reserves room for a decoded batch, returning false when the node is
@@ -235,11 +301,33 @@ type ingestResponse struct {
 	Error    string `json:"error,omitempty"`
 }
 
+// HeaderStream and HeaderFrameBase are the ingest deduplication headers: a
+// router sender tags each request with its stream ID and the index of the
+// request's first frame within that stream. Frames below the node's stream
+// cursor were already applied by a delivery whose response got lost; the node
+// skips them (counting DedupedFrames) but reports them accepted, so the
+// client's resume arithmetic is unchanged. Requests without the headers
+// bypass deduplication.
+const (
+	HeaderStream    = "Privascope-Stream"
+	HeaderFrameBase = "Privascope-Frame-Base"
+)
+
 // handleIngest streams frames out of the request body into the ingest queue.
 // The whole body is one frame sequence; the response reports how many frames
 // were admitted, so a 429 mid-stream tells the client exactly where to
 // resume.
 func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
+	stream := r.Header.Get(HeaderStream)
+	base := int64(0)
+	if stream != "" {
+		v, err := strconv.ParseInt(r.Header.Get(HeaderFrameBase), 10, 64)
+		if err != nil || v < 0 {
+			http.Error(w, "cluster: bad "+HeaderFrameBase+" header", http.StatusBadRequest)
+			return
+		}
+		base = v
+	}
 	fr := NewFrameReader(r.Body)
 	accepted := 0
 	for {
@@ -252,17 +340,43 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, ingestResponse{Accepted: accepted, Error: err.Error()})
 			return
 		}
+		if stream != "" && n.dedupFrame(stream, base+int64(accepted)) {
+			n.deduped.Add(1)
+			accepted++
+			continue
+		}
 		if !n.admit(batch) {
 			n.rejected.Add(int64(len(batch)))
 			w.Header().Set("Retry-After", strconv.Itoa(int((n.retryAfter + time.Second - 1) / time.Second)))
 			writeJSON(w, http.StatusTooManyRequests, ingestResponse{Accepted: accepted, Error: "ingest queue full"})
 			return
 		}
+		if stream != "" {
+			n.advanceStream(stream, base+int64(accepted))
+		}
 		n.frames.Add(1)
 		n.events.Add(int64(len(batch)))
 		accepted++
 	}
 	writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: accepted})
+}
+
+// dedupFrame reports whether the frame at idx was already applied on the
+// stream (idx below the cursor).
+func (n *Node) dedupFrame(stream string, idx int64) bool {
+	n.streamsMu.Lock()
+	defer n.streamsMu.Unlock()
+	return idx < n.streams[stream]
+}
+
+// advanceStream records that the frame at idx was admitted. Frames dropped by
+// the client leave gaps; the cursor only ever moves forward.
+func (n *Node) advanceStream(stream string, idx int64) {
+	n.streamsMu.Lock()
+	defer n.streamsMu.Unlock()
+	if idx+1 > n.streams[stream] {
+		n.streams[stream] = idx + 1
+	}
 }
 
 // handleRegister registers a JSON array of user profiles with the node's
@@ -311,10 +425,78 @@ func (n *Node) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// HeaderHandoffReason labels a /handoff request with why ownership moved:
+// "rebalance" for a planned membership change, "failover" when the previous
+// owner was evicted as dead. The importing node counts the two separately.
+const HeaderHandoffReason = "Privascope-Handoff-Reason"
+
+// handoffResponse is the /handoff reply body.
+type handoffResponse struct {
+	Imported int    `json:"imported"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleHandoff imports the user snapshots of one PSHO frame into the node's
+// monitor. The frame is fully decoded and validated before any user is
+// touched; per-user imports are idempotent, so a duplicated delivery (the
+// sender retried after a lost response) converges to the same state. While a
+// handoff is being received the node reports not-ready.
+func (n *Node) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	n.receiving.Add(1)
+	defer n.receiving.Add(-1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxHandoffBytes+1))
+	if err != nil {
+		http.Error(w, "cluster: reading handoff frame: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	snaps, err := DecodeHandoff(body)
+	if err != nil {
+		n.decodeErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, handoffResponse{Error: err.Error()})
+		return
+	}
+	failover := r.Header.Get(HeaderHandoffReason) == "failover"
+	for i, snap := range snaps {
+		if err := n.monitor.ImportUserContext(r.Context(), snap); err != nil {
+			// Imports are idempotent, so the sender retries the whole frame;
+			// nothing is half-registered from this frame's perspective beyond
+			// users already (re)imported, which a retry simply overwrites.
+			writeJSON(w, http.StatusUnprocessableEntity, handoffResponse{Imported: i, Error: err.Error()})
+			return
+		}
+		n.handoffIn.Add(1)
+		if failover {
+			n.failoverIn.Add(1)
+		}
+	}
+	writeJSON(w, http.StatusOK, handoffResponse{Imported: len(snaps)})
+}
+
+// handleHealthz is the liveness half of the health split: it answers 200
+// whenever the process serves HTTP at all. Eviction decisions key off this —
+// a draining node is still alive.
 func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"node":    n.name,
 		"pending": n.pending.Load(),
+		"ready":   n.ready(),
+	})
+}
+
+// handleReadyz is the readiness half: 503 while the node is draining for a
+// shutdown/handoff or importing a handoff, 200 otherwise. Probers and
+// external load balancers route on this; eviction must not.
+func (n *Node) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	if !n.ready() {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"node":      n.name,
+		"ready":     n.ready(),
+		"draining":  n.draining.Load(),
+		"receiving": n.receiving.Load() > 0,
+		"pending":   n.pending.Load(),
 	})
 }
 

@@ -101,6 +101,36 @@ func TestRingMinimalMovementProperty(t *testing.T) {
 				return fmt.Errorf("user %q moved from %q to %q across a join+leave round trip", id, a, b)
 			}
 		}
+		// Leave of an original member (the failover direction): exactly the
+		// leaver's users move — everyone else keeps their owner — and the
+		// leaver's share is on the order of 1/N.
+		if len(names) > 1 {
+			leaver := names[rng.Intn(len(names))]
+			reduced, err := base.WithoutNode(leaver)
+			if err != nil {
+				return err
+			}
+			departed := 0
+			for i := 0; i < users; i++ {
+				id := fmt.Sprintf("user-%d-%d", seed, i)
+				before, after := base.Owner(id), reduced.Owner(id)
+				switch {
+				case before == leaver:
+					if after == leaver {
+						return fmt.Errorf("user %q still owned by departed node %q", id, leaver)
+					}
+					departed++
+				case before != after:
+					return fmt.Errorf("leave of %q moved user %q from %q to %q (untouched users must keep their owner)",
+						leaver, id, before, after)
+				}
+			}
+			expected := float64(users) / float64(base.Size())
+			if f := float64(departed); f > 3*expected || f < expected/4 {
+				return fmt.Errorf("leave moved %d of %d users across %d nodes; expected about %.0f",
+					departed, users, base.Size(), expected)
+			}
+		}
 		return nil
 	})
 }

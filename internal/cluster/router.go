@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -37,6 +40,18 @@ type RouterConfig struct {
 	// MaxRetries bounds delivery attempts per frame sequence, 429 rounds
 	// included (0 selects DefaultMaxRetries).
 	MaxRetries int
+	// BackoffBase and BackoffMax shape the jittered exponential backoff
+	// between delivery attempts after a transport error or 5xx: attempt k
+	// waits a uniformly jittered duration in [d/2, d] for d =
+	// min(BackoffBase<<k, BackoffMax), so a flapping node is probed at a
+	// geometrically decreasing rate instead of hammered in a tight loop.
+	// Zero selects DefaultBackoffBase / DefaultBackoffMax. 429 responses are
+	// excluded: they carry the server's own Retry-After advice.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BackoffJitterSeed seeds the deterministic jitter source (0 selects a
+	// fixed default seed; tests pin schedules by choosing a seed).
+	BackoffJitterSeed int64
 	// HTTPClient overrides the default unencrypted-HTTP/2 client.
 	HTTPClient *http.Client
 }
@@ -50,19 +65,45 @@ const (
 	DefaultFlushInterval = 50 * time.Millisecond
 	// DefaultMaxRetries bounds attempts per frame sequence.
 	DefaultMaxRetries = 16
+	// DefaultBackoffBase and DefaultBackoffMax bound the retry backoff:
+	// 5ms doubling to a 2s ceiling reaches the cap on the 9th retry.
+	DefaultBackoffBase = 5 * time.Millisecond
+	DefaultBackoffMax  = 2 * time.Second
 )
 
 // RouterStats is a snapshot of the router's counters.
 type RouterStats struct {
 	// EventsSent and FramesSent count what reached a node's queue (accepted,
 	// after any retries); Rejected429 counts backpressure rounds; Retries
-	// counts re-sent frame sequences; Dropped counts frames abandoned after
-	// MaxRetries.
+	// counts delivery re-attempts (one per retried request).
 	EventsSent  int64
 	FramesSent  int64
 	Rejected429 int64
 	Retries     int64
-	Dropped     int64
+	// Dropped counts frame sequences abandoned after MaxRetries — exactly
+	// once per abandoned sequence, however many frames it still carried;
+	// DroppedFrames and DroppedEvents count the frames and events those
+	// sequences lost.
+	Dropped       int64
+	DroppedFrames int64
+	DroppedEvents int64
+	// Epoch is the ring epoch: it starts at 1 and increments on every
+	// membership change, so readers can tell which ownership generation the
+	// other counters belong to.
+	Epoch int64
+	// ReroutedEvents counts events re-routed to ring successors when a node
+	// was evicted; FailoverSkippedFrames counts parked frames NOT re-routed
+	// because the dead node's stream cursor proved them already applied.
+	ReroutedEvents        int64
+	FailoverSkippedFrames int64
+}
+
+// cutFrame is one encoded frame queued on a sender, tagged with its index in
+// the sender's stream so the receiving node can deduplicate redeliveries.
+type cutFrame struct {
+	idx    int64
+	data   []byte
+	events int
 }
 
 // nodeSender is the per-node half of the router: a buffer the Send path
@@ -73,45 +114,100 @@ type nodeSender struct {
 	name string
 	url  string
 
-	mu  sync.Mutex
-	buf []service.Event
-	enc frameEncoder
+	mu      sync.Mutex
+	buf     []service.Event
+	enc     frameEncoder
+	nextIdx int64      // next frame index in this sender's stream
+	parked  []cutFrame // frames recovered from a dead node, pending re-route
 
-	frames chan []byte // cut frames, FIFO; capacity = MaxInFlight
+	frames  chan cutFrame // cut frames, FIFO; capacity = MaxInFlight
+	pending atomic.Int64  // frames cut for this sender, not yet resolved
+
+	dead     chan struct{} // closed when the node is evicted
+	deadOnce sync.Once
 }
+
+func (s *nodeSender) markDead() { s.deadOnce.Do(func() { close(s.dead) }) }
+
+func (s *nodeSender) isDead() bool {
+	select {
+	case <-s.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+// errSenderDead aborts a delivery attempt when the target was evicted
+// mid-retry; the sequence is parked for re-routing, not dropped.
+var errSenderDead = errors.New("cluster: sender marked dead")
 
 // Router is the cluster's ingest client: it partitions events over the ring,
 // buffers per node, cuts binary frames at the batch threshold or flush
-// deadline, and honors 429 + Retry-After backpressure.
+// deadline, and honors 429 + Retry-After backpressure. Membership is live:
+// AddNode, RemoveNode and EvictNode rebuild the ring at a new epoch after
+// handing per-user monitor state to the new owners, and an evicted node's
+// undelivered frames are re-routed to its ring successors — never silently
+// dropped.
 type Router struct {
-	ring    *Ring
-	client  *http.Client
-	senders map[string]*nodeSender
-	cfg     RouterConfig
+	ring   atomic.Pointer[Ring]
+	epoch  atomic.Int64
+	client *http.Client
+	cfg    RouterConfig
 
-	pending atomic.Int64 // frames cut but not yet accepted or dropped
+	// memberMu is the membership lock: Send/Flush/Register and the flush
+	// tick hold it shared; membership changes hold it exclusively, so a
+	// change observes a frozen Send plane while state moves.
+	memberMu sync.RWMutex
+	senders  map[string]*nodeSender
+
+	// streamID prefixes every sender's dedup stream key, so retried requests
+	// from this router never collide with another router's streams.
+	streamID string
+
+	pending atomic.Int64 // frames cut but not yet accepted, dropped or parked
 	events  atomic.Int64
 	frames  atomic.Int64
 	rej429  atomic.Int64
 	retries atomic.Int64
-	dropped atomic.Int64
+
+	dropped       atomic.Int64
+	droppedFrames atomic.Int64
+	droppedEvents atomic.Int64
+	rerouted      atomic.Int64
+	failoverSkip  atomic.Int64
+
+	// jitter is the deterministic backoff-jitter source; sleepFn is the
+	// backoff sleep (swapped for a fake clock in tests).
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+	sleepFn  func(d time.Duration, interrupt <-chan struct{}) bool
 
 	errMu    sync.Mutex
 	firstErr error
 
 	stopTick  chan struct{}
 	tickDone  chan struct{}
+	closed    chan struct{}
 	sendersWG sync.WaitGroup
 	closeOnce sync.Once
 }
 
-// h2cClient is the default transport: unencrypted HTTP/2 (the fleet speaks
-// h2c inside the perimeter; one multiplexed connection per node).
-func h2cClient() *http.Client {
+// H2CTransport returns a transport speaking unencrypted HTTP/2 (the fleet's
+// wire protocol inside the perimeter). The fault-injection harness wraps it.
+func H2CTransport() *http.Transport {
 	var p http.Protocols
 	p.SetUnencryptedHTTP2(true)
-	return &http.Client{Transport: &http.Transport{Protocols: &p}}
+	return &http.Transport{Protocols: &p}
 }
+
+// h2cClient is the default client: one multiplexed h2c connection per node.
+func h2cClient() *http.Client {
+	return &http.Client{Transport: H2CTransport()}
+}
+
+// routerSeq distinguishes routers created within one process.
+var routerSeq atomic.Int64
 
 // NewRouter builds a router over the configured nodes.
 func NewRouter(cfg RouterConfig) (*Router, error) {
@@ -144,43 +240,78 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = DefaultMaxRetries
 	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
+	seed := cfg.BackoffJitterSeed
+	if seed == 0 {
+		seed = 1
+	}
 	client := cfg.HTTPClient
 	if client == nil {
 		client = h2cClient()
 	}
 	r := &Router{
-		ring:     ring,
 		client:   client,
 		senders:  make(map[string]*nodeSender, len(names)),
 		cfg:      cfg,
+		streamID: fmt.Sprintf("%d-%d-%d", os.Getpid(), time.Now().UnixNano(), routerSeq.Add(1)),
+		jitter:   rand.New(rand.NewSource(seed)),
 		stopTick: make(chan struct{}),
 		tickDone: make(chan struct{}),
+		closed:   make(chan struct{}),
 	}
+	r.sleepFn = r.timerSleep
+	r.ring.Store(ring)
+	r.epoch.Store(1)
 	for name, url := range cfg.Nodes {
-		s := &nodeSender{
-			name:   name,
-			url:    url,
-			frames: make(chan []byte, cfg.MaxInFlight),
-		}
-		r.senders[name] = s
-		r.sendersWG.Add(1)
-		go r.sendLoop(s)
+		r.startSender(name, url)
 	}
 	go r.tickLoop()
 	return r, nil
 }
 
-// Ring returns the router's partitioning ring.
-func (r *Router) Ring() *Ring { return r.ring }
+// startSender builds and launches the sender for one node. The caller either
+// owns the router exclusively (NewRouter) or holds memberMu exclusively.
+func (r *Router) startSender(name, url string) *nodeSender {
+	s := &nodeSender{
+		name:   name,
+		url:    url,
+		frames: make(chan cutFrame, r.cfg.MaxInFlight),
+		dead:   make(chan struct{}),
+	}
+	r.senders[name] = s
+	r.sendersWG.Add(1)
+	go r.sendLoop(s)
+	return s
+}
+
+// Ring returns the router's current partitioning ring.
+func (r *Router) Ring() *Ring { return r.ring.Load() }
+
+// Epoch returns the current ring epoch (1 at construction, +1 per membership
+// change).
+func (r *Router) Epoch() int64 { return r.epoch.Load() }
+
+// streamFor is the dedup stream key of one sender.
+func (r *Router) streamFor(node string) string { return r.streamID + "/" + node }
 
 // Stats snapshots the router's counters.
 func (r *Router) Stats() RouterStats {
 	return RouterStats{
-		EventsSent:  r.events.Load(),
-		FramesSent:  r.frames.Load(),
-		Rejected429: r.rej429.Load(),
-		Retries:     r.retries.Load(),
-		Dropped:     r.dropped.Load(),
+		EventsSent:            r.events.Load(),
+		FramesSent:            r.frames.Load(),
+		Rejected429:           r.rej429.Load(),
+		Retries:               r.retries.Load(),
+		Dropped:               r.dropped.Load(),
+		DroppedFrames:         r.droppedFrames.Load(),
+		DroppedEvents:         r.droppedEvents.Load(),
+		Epoch:                 r.epoch.Load(),
+		ReroutedEvents:        r.rerouted.Load(),
+		FailoverSkippedFrames: r.failoverSkip.Load(),
 	}
 }
 
@@ -201,9 +332,19 @@ func (r *Router) setErr(err error) {
 
 // Send routes one event to its owner's buffer, cutting a frame when the
 // buffer reaches the batch threshold. It blocks when the owner's in-flight
-// window is full — that block is the backpressure propagating to the caller.
+// window is full — that block is the backpressure propagating to the caller —
+// and while a membership change is rebuilding the ring, so an event observed
+// before a change lands on the old owner (whose state then moves) and an
+// event observed after lands on the new one: re-routed, never dropped.
 func (r *Router) Send(ctx context.Context, ev service.Event) error {
-	s := r.senders[r.ring.Owner(ev.UserID)]
+	r.memberMu.RLock()
+	defer r.memberMu.RUnlock()
+	return r.route(ctx, ev)
+}
+
+// route is Send under an already-held membership lock (either mode).
+func (r *Router) route(ctx context.Context, ev service.Event) error {
+	s := r.senders[r.ring.Load().Owner(ev.UserID)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.buf = append(s.buf, ev)
@@ -231,17 +372,21 @@ func (r *Router) cutLocked(ctx context.Context, s *nodeSender) error {
 	if len(s.buf) == 0 {
 		return nil
 	}
-	frame, err := s.enc.appendFrame(nil, s.buf)
+	data, err := s.enc.appendFrame(nil, s.buf)
 	if err != nil {
 		return err
 	}
+	f := cutFrame{idx: s.nextIdx, data: data, events: len(s.buf)}
+	s.nextIdx++
 	s.buf = s.buf[:0]
 	r.pending.Add(1)
+	s.pending.Add(1)
 	select {
-	case s.frames <- frame:
+	case s.frames <- f:
 		return nil
 	case <-ctx.Done():
 		r.pending.Add(-1)
+		s.pending.Add(-1)
 		return ctx.Err()
 	}
 }
@@ -255,7 +400,11 @@ func (r *Router) tickLoop() {
 	for {
 		select {
 		case <-tick.C:
+			r.memberMu.RLock()
 			for _, s := range r.senders {
+				if s.isDead() {
+					continue
+				}
 				s.mu.Lock()
 				err := r.cutLocked(context.Background(), s)
 				s.mu.Unlock()
@@ -263,6 +412,7 @@ func (r *Router) tickLoop() {
 					r.setErr(err)
 				}
 			}
+			r.memberMu.RUnlock()
 		case <-r.stopTick:
 			return
 		}
@@ -272,11 +422,12 @@ func (r *Router) tickLoop() {
 // sendLoop posts cut frames in order. It drains greedily: every frame
 // already queued behind the first is concatenated into the same request body
 // (a body is a frame sequence), amortizing the request overhead under load.
+// When the node has been marked dead, sequences are parked for the eviction
+// path to re-route instead of posted or dropped.
 func (r *Router) sendLoop(s *nodeSender) {
 	defer r.sendersWG.Done()
 	for first := range s.frames {
-		frames := [][]byte{first}
-		events := eventCountOf(first)
+		frames := []cutFrame{first}
 	drainMore:
 		for {
 			select {
@@ -285,65 +436,111 @@ func (r *Router) sendLoop(s *nodeSender) {
 					break drainMore
 				}
 				frames = append(frames, f)
-				events += eventCountOf(f)
 			default:
 				break drainMore
 			}
 		}
-		if err := r.post(s, frames); err != nil {
-			r.setErr(fmt.Errorf("cluster: node %q: %w", s.name, err))
-			r.dropped.Add(int64(len(frames)))
+		total := len(frames)
+		var rest []cutFrame
+		var err error
+		if s.isDead() {
+			rest = frames
+			err = errSenderDead
 		} else {
-			r.frames.Add(int64(len(frames)))
-			r.events.Add(int64(events))
+			var accepted, acceptedEvents int
+			accepted, acceptedEvents, rest, err = r.post(s, frames)
+			r.frames.Add(int64(accepted))
+			r.events.Add(int64(acceptedEvents))
 		}
-		r.pending.Add(-int64(len(frames)))
+		switch {
+		case err == nil:
+		case errors.Is(err, errSenderDead):
+			s.mu.Lock()
+			s.parked = append(s.parked, rest...)
+			s.mu.Unlock()
+		default:
+			r.setErr(fmt.Errorf("cluster: node %q: %w", s.name, err))
+			r.dropped.Add(1)
+			r.droppedFrames.Add(int64(len(rest)))
+			for _, f := range rest {
+				r.droppedEvents.Add(int64(f.events))
+			}
+		}
+		r.pending.Add(-int64(total))
+		s.pending.Add(-int64(total))
 	}
-}
-
-// eventCountOf reads the event count out of an encoded frame header.
-func eventCountOf(frame []byte) int {
-	return int(uint32(frame[12]) | uint32(frame[13])<<8 | uint32(frame[14])<<16 | uint32(frame[15])<<24)
 }
 
 // post delivers a frame sequence, honoring 429 + Retry-After: a saturated
 // node reports how many frames it accepted, the router sleeps the advised
-// delay and resends from there. Non-2xx/429 responses and transport errors
-// retry the whole remainder, up to MaxRetries attempts in total.
-func (r *Router) post(s *nodeSender, frames [][]byte) error {
+// delay and resends from there, and the accepted prefix survives later
+// failures — acceptance is monotonic across retries. Non-2xx/429 responses
+// and transport errors retry the remainder after a jittered exponential
+// backoff, up to MaxRetries attempts in total. It returns the accepted frame
+// and event counts, the unaccepted remainder, and the final error (nil when
+// everything was accepted; errSenderDead when the node was evicted
+// mid-delivery).
+func (r *Router) post(s *nodeSender, frames []cutFrame) (acceptedFrames, acceptedEvents int, rest []cutFrame, err error) {
 	var lastErr error
 	for attempt := 0; attempt < r.cfg.MaxRetries; attempt++ {
+		if s.isDead() {
+			return acceptedFrames, acceptedEvents, frames, errSenderDead
+		}
 		if attempt > 0 {
 			r.retries.Add(1)
 		}
-		resp, err := r.client.Post(s.url+"/ingest", "application/octet-stream", bytes.NewReader(bytes.Join(frames, nil)))
-		if err != nil {
-			lastErr = err
-			time.Sleep(5 * time.Millisecond)
+		body := make([]byte, 0, r.sequenceSize(frames))
+		for _, f := range frames {
+			body = append(body, f.data...)
+		}
+		req, reqErr := http.NewRequest(http.MethodPost, s.url+"/ingest", bytes.NewReader(body))
+		if reqErr != nil {
+			return acceptedFrames, acceptedEvents, frames, reqErr
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set(HeaderStream, r.streamFor(s.name))
+		req.Header.Set(HeaderFrameBase, strconv.FormatInt(frames[0].idx, 10))
+		resp, postErr := r.client.Do(req)
+		if postErr != nil {
+			lastErr = postErr
+			if !r.backoffSleep(attempt, s.dead) {
+				return acceptedFrames, acceptedEvents, frames, errSenderDead
+			}
 			continue
 		}
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		resp.Body.Close()
 		switch resp.StatusCode {
 		case http.StatusAccepted:
-			return nil
+			for _, f := range frames {
+				acceptedEvents += f.events
+			}
+			return acceptedFrames + len(frames), acceptedEvents, nil, nil
 		case http.StatusTooManyRequests:
 			r.rej429.Add(1)
 			var ir ingestResponse
-			if json.Unmarshal(body, &ir) == nil && ir.Accepted > 0 && ir.Accepted <= len(frames) {
+			if json.Unmarshal(respBody, &ir) == nil && ir.Accepted > 0 && ir.Accepted <= len(frames) {
+				acceptedFrames += ir.Accepted
+				for _, f := range frames[:ir.Accepted] {
+					acceptedEvents += f.events
+				}
 				frames = frames[ir.Accepted:]
 			}
 			if len(frames) == 0 {
-				return nil
+				return acceptedFrames, acceptedEvents, nil, nil
 			}
-			time.Sleep(retryAfterOf(resp))
 			lastErr = fmt.Errorf("saturated (429) after %d attempts", attempt+1)
+			if !r.sleep(retryAfterOf(resp), s.dead) {
+				return acceptedFrames, acceptedEvents, frames, errSenderDead
+			}
 		default:
-			lastErr = fmt.Errorf("ingest returned %s: %s", resp.Status, bytes.TrimSpace(body))
-			time.Sleep(5 * time.Millisecond)
+			lastErr = fmt.Errorf("ingest returned %s: %s", resp.Status, bytes.TrimSpace(respBody))
+			if !r.backoffSleep(attempt, s.dead) {
+				return acceptedFrames, acceptedEvents, frames, errSenderDead
+			}
 		}
 	}
-	return lastErr
+	return acceptedFrames, acceptedEvents, frames, lastErr
 }
 
 // retryAfterOf parses a 429's Retry-After seconds, with a floor that keeps a
@@ -355,11 +552,69 @@ func retryAfterOf(resp *http.Response) time.Duration {
 	return 20 * time.Millisecond
 }
 
+// sequenceSize sums the encoded bytes of a frame sequence.
+func (r *Router) sequenceSize(frames []cutFrame) int {
+	n := 0
+	for _, f := range frames {
+		n += len(f.data)
+	}
+	return n
+}
+
+// backoff computes the jittered exponential delay after failed attempt k
+// (0-based): uniformly drawn from [d/2, d] for d = min(base<<k, max). The
+// jitter source is seeded (BackoffJitterSeed), so a test can pin the exact
+// schedule.
+func (r *Router) backoff(attempt int) time.Duration {
+	d := r.cfg.BackoffBase
+	for i := 0; i < attempt && d < r.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > r.cfg.BackoffMax {
+		d = r.cfg.BackoffMax
+	}
+	r.jitterMu.Lock()
+	j := time.Duration(r.jitter.Int63n(int64(d/2) + 1))
+	r.jitterMu.Unlock()
+	return d/2 + j
+}
+
+// backoffSleep sleeps the backoff for the attempt; it returns false when the
+// sleep was interrupted by the sender dying or the router closing.
+func (r *Router) backoffSleep(attempt int, dead <-chan struct{}) bool {
+	return r.sleepFn(r.backoff(attempt), dead)
+}
+
+// sleep waits d via the router's sleep function (a fake clock in tests).
+func (r *Router) sleep(d time.Duration, dead <-chan struct{}) bool {
+	return r.sleepFn(d, dead)
+}
+
+// timerSleep is the production sleep: interruptible by eviction of the
+// target node and by router close, so a retry loop never outlives either.
+func (r *Router) timerSleep(d time.Duration, dead <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-dead:
+		return false
+	case <-r.closed:
+		// Closing flushes first, so an interrupt here only short-circuits
+		// attempts that already failed once.
+		return true
+	}
+}
+
 // Register sends each profile to its owner node's /register endpoint.
 func (r *Router) Register(ctx context.Context, profiles []risk.UserProfile) error {
+	r.memberMu.RLock()
+	defer r.memberMu.RUnlock()
 	byNode := make(map[string][]risk.UserProfile)
+	ring := r.ring.Load()
 	for _, p := range profiles {
-		owner := r.ring.Owner(p.ID)
+		owner := ring.Owner(p.ID)
 		byNode[owner] = append(byNode[owner], p)
 	}
 	for name, group := range byNode {
@@ -388,7 +643,21 @@ func (r *Router) Register(ctx context.Context, profiles []risk.UserProfile) erro
 // Flush cuts every buffered partial frame and waits until all cut frames
 // have been accepted or dropped.
 func (r *Router) Flush(ctx context.Context) error {
-	for _, s := range r.senders {
+	r.memberMu.RLock()
+	defer r.memberMu.RUnlock()
+	if err := r.flushSealed(ctx, ""); err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+// flushSealed cuts and settles every live sender except skip. The caller
+// holds memberMu in either mode.
+func (r *Router) flushSealed(ctx context.Context, skip string) error {
+	for name, s := range r.senders {
+		if name == skip || s.isDead() {
+			continue
+		}
 		s.mu.Lock()
 		err := r.cutLocked(ctx, s)
 		s.mu.Unlock()
@@ -405,7 +674,7 @@ func (r *Router) Flush(ctx context.Context) error {
 		case <-tick.C:
 		}
 	}
-	return r.Err()
+	return nil
 }
 
 // Close flushes buffered events, stops the background goroutines and returns
@@ -416,9 +685,12 @@ func (r *Router) Close() error {
 		close(r.stopTick)
 		<-r.tickDone
 		err = r.Flush(context.Background())
+		close(r.closed)
+		r.memberMu.Lock()
 		for _, s := range r.senders {
 			close(s.frames)
 		}
+		r.memberMu.Unlock()
 		r.sendersWG.Wait()
 		// Drop the pooled HTTP/2 connections so node servers can shut down
 		// without waiting out their graceful-shutdown poll.

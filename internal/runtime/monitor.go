@@ -114,6 +114,11 @@ type monitorShard struct {
 	profiles map[string]risk.UserProfile
 	findings map[string]findingsIndex
 	alerts   []Alert
+	// applied and alertCount are cumulative per-user cursors carried across
+	// handoffs (UserSnapshot): events applied and alerts raised for the user,
+	// including on previous owners.
+	applied    map[string]int64
+	alertCount map[string]int64
 }
 
 // Monitor tracks per-user privacy state against a privacy LTS. It is safe
@@ -187,6 +192,8 @@ func NewMonitor(p *core.PrivacyLTS, cfg Config) (*Monitor, error) {
 		s.cursors = make(map[string]lts.StateID)
 		s.profiles = make(map[string]risk.UserProfile)
 		s.findings = make(map[string]findingsIndex)
+		s.applied = make(map[string]int64)
+		s.alertCount = make(map[string]int64)
 	}
 	return m, nil
 }
@@ -244,6 +251,8 @@ func (m *Monitor) RegisterUserContext(ctx context.Context, profile risk.UserProf
 	shard.profiles[profile.ID] = profile
 	shard.cursors[profile.ID] = m.lts.InitialState()
 	shard.findings[profile.ID] = index
+	shard.applied[profile.ID] = 0
+	shard.alertCount[profile.ID] = 0
 	return nil
 }
 
@@ -391,6 +400,7 @@ func (m *Monitor) Observe(ev service.Event) (Observation, error) {
 	if !ok {
 		return Observation{}, fmt.Errorf("runtime: user %q is not registered with the monitor", ev.UserID)
 	}
+	shard.applied[ev.UserID]++
 	obs := Observation{From: cursor, To: cursor}
 
 	if ev.Denied {
@@ -432,6 +442,7 @@ func (m *Monitor) raise(shard *monitorShard, obs *Observation, alert Alert) {
 func (m *Monitor) raiseLocked(shard *monitorShard, alert Alert) Alert {
 	alert.seq = m.alertSeq.Add(1)
 	shard.alerts = append(shard.alerts, alert)
+	shard.alertCount[alert.UserID]++
 	return alert
 }
 
@@ -665,6 +676,7 @@ func (m *Monitor) ingestLocked(shard *monitorShard, ev *service.Event, stats *In
 		stats.Unregistered++
 		return
 	}
+	shard.applied[ev.UserID]++
 	if ev.Denied {
 		stats.Denied++
 		m.raiseLocked(shard, deniedAlert(ev))

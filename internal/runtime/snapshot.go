@@ -1,0 +1,111 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+
+	"privascope/internal/lts"
+	"privascope/internal/risk"
+)
+
+// UserSnapshot is the portable per-user monitor state: everything another
+// monitor needs to continue assessing the user's event stream exactly where
+// this one stopped. It is the unit of state handoff when cluster ownership
+// moves between nodes (internal/cluster): the profile rebuilds the findings
+// index on the importing side, State resumes the LTS cursor, and the two
+// cumulative counters make loss detectable — if a handoff chain ever dropped
+// an accepted event or an alert, the final owner's counters would fall short
+// of a single monitor's.
+type UserSnapshot struct {
+	// Profile is the user's registered risk profile.
+	Profile risk.UserProfile
+	// State is the user's current privacy state in the model.
+	State lts.StateID
+	// Applied is the cumulative number of events applied for this user,
+	// carried across handoffs (not reset when the user moves to a new
+	// monitor).
+	Applied int64
+	// Alerts is the user's cumulative alert cursor: how many alerts this
+	// user's stream has raised across every monitor that has owned it.
+	Alerts int64
+}
+
+// ExportUser snapshots the user's current monitor state without disturbing
+// it. The second return is false when the user is not registered.
+func (m *Monitor) ExportUser(userID string) (UserSnapshot, bool) {
+	shard := m.shardFor(userID)
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	cursor, ok := shard.cursors[userID]
+	if !ok {
+		return UserSnapshot{}, false
+	}
+	return UserSnapshot{
+		Profile: shard.profiles[userID],
+		State:   cursor,
+		Applied: shard.applied[userID],
+		Alerts:  shard.alertCount[userID],
+	}, true
+}
+
+// RemoveUser stops tracking the user, dropping their cursor, profile and
+// counters. Alerts already raised stay in this monitor's log — they happened
+// here; a handoff moves the user's future, not their history. It reports
+// whether the user was registered.
+func (m *Monitor) RemoveUser(userID string) bool {
+	shard := m.shardFor(userID)
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	if _, ok := shard.cursors[userID]; !ok {
+		return false
+	}
+	delete(shard.cursors, userID)
+	delete(shard.profiles, userID)
+	delete(shard.findings, userID)
+	delete(shard.applied, userID)
+	delete(shard.alertCount, userID)
+	return true
+}
+
+// ImportUser is ImportUserContext with a background context.
+func (m *Monitor) ImportUser(snap UserSnapshot) error {
+	return m.ImportUserContext(context.Background(), snap)
+}
+
+// ImportUserContext registers the user from a snapshot, resuming their
+// cursor at the snapshot state instead of the initial state. The snapshot is
+// validated against this monitor's model before any state is touched: the
+// profile must be well-formed, the state must exist in the LTS, and the
+// cumulative counters must be non-negative — a snapshot from a different
+// model (or a corrupted handoff frame that slipped past the codec) is
+// rejected, never half-applied. Importing an already-registered user
+// overwrites their state; imports are idempotent, so a retried handoff is
+// harmless.
+func (m *Monitor) ImportUserContext(ctx context.Context, snap UserSnapshot) error {
+	if snap.Profile.ID == "" {
+		return fmt.Errorf("runtime: import: snapshot has no user ID")
+	}
+	if err := snap.Profile.Validate(); err != nil {
+		return fmt.Errorf("runtime: import of user %q: %w", snap.Profile.ID, err)
+	}
+	if !m.lts.Graph.HasState(snap.State) {
+		return fmt.Errorf("runtime: import of user %q: state %q is not in the model", snap.Profile.ID, snap.State)
+	}
+	if snap.Applied < 0 || snap.Alerts < 0 {
+		return fmt.Errorf("runtime: import of user %q: negative cursor (applied %d, alerts %d)",
+			snap.Profile.ID, snap.Applied, snap.Alerts)
+	}
+	index, err := m.shapeIndex(ctx, snap.Profile)
+	if err != nil {
+		return err
+	}
+	shard := m.shardFor(snap.Profile.ID)
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	shard.profiles[snap.Profile.ID] = snap.Profile
+	shard.cursors[snap.Profile.ID] = snap.State
+	shard.findings[snap.Profile.ID] = index
+	shard.applied[snap.Profile.ID] = snap.Applied
+	shard.alertCount[snap.Profile.ID] = snap.Alerts
+	return nil
+}
